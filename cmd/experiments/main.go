@@ -1,0 +1,118 @@
+// Command experiments regenerates the tables and figures of the
+// paper's evaluation section (see DESIGN.md for the experiment index
+// and EXPERIMENTS.md for the paper-vs-measured record).
+//
+// Usage:
+//
+//	experiments                 # run everything (scaled defaults)
+//	experiments -fig 7a         # a single figure: 1, 5, 7a, 7b, 8
+//	experiments -exp theta-ratio|residuals|speedup-model
+//	experiments -csv out/       # additionally write CSV files
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("experiments: ")
+	var (
+		fig    = flag.String("fig", "", "figure to regenerate: 1, 5, 7a, 7b, 8 (empty = all)")
+		exp    = flag.String("exp", "", "extra experiment: theta-ratio, residuals, speedup-model, ablations")
+		csvDir = flag.String("csv", "", "directory for CSV output")
+		paper  = flag.Bool("paper", false, "use the paper's exact sizes where implemented (very slow)")
+	)
+	flag.Parse()
+
+	emit := func(name string, tb *experiments.Table) {
+		tb.Fprint(os.Stdout)
+		if *csvDir != "" {
+			if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+				log.Fatal(err)
+			}
+			fpath := filepath.Join(*csvDir, name+".csv")
+			f, err := os.Create(fpath)
+			if err != nil {
+				log.Fatal(err)
+			}
+			tb.CSV(f)
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("wrote %s\n\n", fpath)
+		}
+	}
+
+	all := *fig == "" && *exp == ""
+	want := func(name string) bool {
+		return all || strings.EqualFold(*fig, name) || strings.EqualFold(*exp, name)
+	}
+
+	if want("1") {
+		_, tb := experiments.Fig1VortexSheet(experiments.DefaultFig1())
+		emit("fig1", tb)
+	}
+	if want("5") {
+		cfg := experiments.DefaultFig5()
+		points, tb := experiments.Fig5Executed(cfg)
+		emit("fig5_executed", tb)
+		fit := experiments.FitBranches(points)
+		_, tbm := experiments.Fig5Model(cfg, fit)
+		emit("fig5_model", tbm)
+	}
+	fig7cfg := experiments.DefaultFig7()
+	if *paper {
+		fig7cfg = experiments.PaperFig7()
+	}
+	if want("7a") {
+		_, tb := experiments.Fig7aSDCConvergence(fig7cfg)
+		emit("fig7a", tb)
+	}
+	if want("7b") {
+		_, _, tb := experiments.Fig7bPFASSTConvergence(fig7cfg)
+		emit("fig7b", tb)
+	}
+	if want("theta-ratio") || all {
+		_, tb := experiments.ThetaCoarseningRatio(20000, 0.3, 0.6)
+		emit("theta_ratio", tb)
+	}
+	if want("residuals") || all {
+		_, tb := experiments.PFASSTResiduals(experiments.DefaultResiduals())
+		emit("residuals", tb)
+	}
+	if want("8") {
+		fig8 := []experiments.Fig8Config{
+			experiments.DefaultFig8Small(), experiments.DefaultFig8Large(),
+		}
+		if *paper {
+			fig8 = []experiments.Fig8Config{experiments.PaperFig8Small()}
+		}
+		for _, cfg := range fig8 {
+			_, tb := experiments.Fig8Speedup(cfg)
+			emit("fig8_"+cfg.Name, tb)
+		}
+	}
+	if want("ablations") || all {
+		emit("ablation_dipole", experiments.AblationDipole(1000, 0.6))
+		emit("ablation_stretching", experiments.AblationStretching(500, 3))
+		emit("ablation_parareal", experiments.AblationPararealVsPFASST(128, 4))
+		emit("ablation_farfield", experiments.AblationFarFieldRefresh(1000, []int{1, 2, 4, 8}))
+		emit("ablation_leafcap", experiments.AblationLeafCap(2000, []int{1, 4, 8, 16, 32}))
+	}
+	if want("speedup-model") || all {
+		alphaS, _ := experiments.MeasureAlpha(4000, 0.3, 0.6)
+		// β ≈ 2 covers Algorithm 1's per-iteration re-evaluations
+		// (NUMERICS.md §6), matching the Fig. 8 theory curves.
+		tb := experiments.SpeedupModelTable(4, 2, 2, []float64{alphaS, 2.0 / (3.23 * 3)}, 2.0,
+			[]int{1, 2, 4, 8, 16, 32, 64})
+		emit("speedup_model", tb)
+	}
+}

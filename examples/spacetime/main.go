@@ -1,0 +1,59 @@
+// Spacetime demonstrates the paper's headline capability: advancing
+// the vortex sheet with PT×PS space-time parallelism — parallel
+// Barnes-Hut trees in space, PFASST(2,2,PT) in time with θ-based
+// spatial coarsening — and verifies the result against the purely
+// space-parallel time-serial SDC(4) baseline. With modeled Blue
+// Gene/P clocks it also reports the speedup from adding the time
+// dimension (the Fig. 8 story).
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	nbody "repro"
+)
+
+func main() {
+	const (
+		n      = 1024
+		pt, ps = 4, 2
+		dt     = 0.5
+		nsteps = 4
+	)
+	t1 := dt * nsteps
+	sys := nbody.ScaledVortexSheet(n)
+
+	// Baseline: purely space-parallel, time-serial SDC(4) at θ=0.3.
+	serial, tSerial, err := nbody.RunSpaceParallel(ps, 0.3, 4, true, sys, 0, t1, nsteps)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Space-time: PFASST(2,2,PT) with θ 0.3 fine / 0.6 coarse.
+	cfg := nbody.DefaultSpaceTime(pt, ps)
+	cfg.Modeled = true
+	coupled, stats, err := nbody.RunSpaceTime(cfg, sys, 0, t1, nsteps)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	maxDiff := 0.0
+	for i := range serial.Particles {
+		d := serial.Particles[i].Pos.Sub(coupled.Particles[i].Pos).Norm()
+		maxDiff = math.Max(maxDiff, d)
+	}
+
+	fmt.Printf("N=%d particles, horizon T=%.1f in %d steps\n\n", n, t1, nsteps)
+	fmt.Printf("space-parallel SDC(4), PS=%d ranks:    modeled %.3f s\n", ps, tSerial)
+	fmt.Printf("space-time PFASST(2,2,%d), %d ranks:    modeled %.3f s\n",
+		pt, pt*ps, stats.ModeledSeconds)
+	fmt.Printf("speedup from time parallelism:         %.2fx\n", tSerial/stats.ModeledSeconds)
+	fmt.Printf("\nmax position deviation vs baseline:    %.2e\n", maxDiff)
+	fmt.Printf("PFASST last-slice residual:            %.2e\n", stats.LastSliceResidual)
+	fmt.Printf("force evaluations (fine/coarse):       %d / %d\n", stats.FineEvals, stats.CoarseEvals)
+	fmt.Println("\nTime parallelism provides speedup beyond the saturated")
+	fmt.Println("spatial decomposition while matching the serial solution —")
+	fmt.Println("the central result of the paper.")
+}

@@ -1,0 +1,48 @@
+// Vortexring reproduces the physics of Fig. 1: the spherical vortex
+// sheet — the vortex representation of flow past a sphere — collapses
+// from the top, wraps into its own interior and forms a traveling
+// vortex ring. The example evolves the sheet with second-order
+// Runge–Kutta (as in the paper's figure) and prints the roll-up
+// diagnostics.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	nbody "repro"
+)
+
+func main() {
+	const (
+		n     = 4000
+		tEnd  = 15.0
+		dt    = 1.0
+		theta = 0.4
+	)
+	sys := nbody.ScaledVortexSheet(n)
+	sim := nbody.NewSimulation(sys)
+	sim.Solver = nbody.NewTreeSolver(theta)
+	sim.Integrator = nbody.RK(2) // the paper's Fig. 1 uses RK2, Δt=1
+
+	d0 := nbody.Diagnose(sys)
+	fmt.Printf("spherical vortex sheet: N=%d, sigma=%.3f\n", n, sys.Sigma)
+	fmt.Printf("%6s  %10s  %10s  %10s  %12s\n", "t", "z_centroid", "z_top", "extent", "max|alpha|")
+	report := func(t float64, s *nbody.System) {
+		d := nbody.Diagnose(s)
+		fmt.Printf("%6.1f  %+10.4f  %+10.4f  %10.4f  %12.4e\n",
+			t, d.Centroid.Z, d.ZMax, d.ZMax-d.ZMin, d.MaxAlpha)
+	}
+	report(0, sys)
+	sim.OnStep = report
+	if err := sim.Run(0, tEnd, int(tEnd/dt)); err != nil {
+		log.Fatal(err)
+	}
+
+	d1 := nbody.Diagnose(sys)
+	fmt.Println()
+	fmt.Printf("descent:       %+.3f (downward translation of the ring)\n", d1.Centroid.Z-d0.Centroid.Z)
+	fmt.Printf("roll-up:       max|alpha| grew %.2fx (vortex stretching)\n", d1.MaxAlpha/d0.MaxAlpha)
+	fmt.Printf("impulse drift: %.2e (transpose scheme conserves impulse well)\n",
+		d1.LinearImpulse.Sub(d0.LinearImpulse).Norm())
+}

@@ -1,0 +1,101 @@
+package checkpoint
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/particle"
+)
+
+func TestRoundTrip(t *testing.T) {
+	sys := particle.RandomVortexBlob(137, 0.42, 9)
+	sys.Particles[3].Charge = -2.5
+	sys.Particles[5].Label = 99
+
+	var buf bytes.Buffer
+	if err := Write(&buf, sys); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Sigma != sys.Sigma || got.N() != sys.N() {
+		t.Fatalf("header mismatch: %v %d", got.Sigma, got.N())
+	}
+	for i := range sys.Particles {
+		if got.Particles[i] != sys.Particles[i] {
+			t.Fatalf("particle %d: %+v vs %+v", i, got.Particles[i], sys.Particles[i])
+		}
+	}
+}
+
+func TestEmptySystem(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, &particle.System{Sigma: 1.5}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N() != 0 || got.Sigma != 1.5 {
+		t.Fatalf("empty round trip: %+v", got)
+	}
+}
+
+func TestCorruptionDetected(t *testing.T) {
+	sys := particle.RandomVortexBlob(20, 0.3, 11)
+	var buf bytes.Buffer
+	if err := Write(&buf, sys); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	data[40] ^= 0xff // flip a byte inside the first record
+	if _, err := Read(bytes.NewReader(data)); err == nil ||
+		!strings.Contains(err.Error(), "checksum") {
+		t.Fatalf("corruption not detected: %v", err)
+	}
+}
+
+func TestBadMagicAndVersion(t *testing.T) {
+	if _, err := Read(strings.NewReader("XXXXxxxxxxxxxxxxxxxxxxxxxxxxx")); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	if _, err := Read(strings.NewReader("NB")); err == nil {
+		t.Fatal("truncated header accepted")
+	}
+}
+
+func TestTruncatedPayload(t *testing.T) {
+	sys := particle.RandomVortexBlob(10, 0.3, 13)
+	var buf bytes.Buffer
+	if err := Write(&buf, sys); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()[:buf.Len()-30]
+	if _, err := Read(bytes.NewReader(data)); err == nil {
+		t.Fatal("truncated payload accepted")
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "state.nbck")
+	sys := particle.SphericalVortexSheet(particle.ScaledSheet(64))
+	if err := Save(path, sys); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N() != 64 {
+		t.Fatalf("loaded %d particles", got.N())
+	}
+	if _, err := Load(filepath.Join(dir, "missing.nbck")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

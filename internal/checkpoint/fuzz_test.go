@@ -1,0 +1,29 @@
+package checkpoint
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/particle"
+)
+
+// FuzzRead hardens the reader: arbitrary input must yield a clean
+// error or a valid system, never a panic or runaway allocation.
+func FuzzRead(f *testing.F) {
+	var seed bytes.Buffer
+	_ = Write(&seed, particle.RandomVortexBlob(3, 0.5, 1))
+	f.Add(seed.Bytes())
+	f.Add([]byte("NBCK"))
+	f.Add([]byte{})
+	// A header claiming 2^31 particles with no payload.
+	huge := append([]byte("NBCK"), make([]byte, 20)...)
+	huge[4] = 1       // version
+	huge[12+4] = 0x80 // count low bytes → large
+	f.Add(huge)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sys, err := Read(bytes.NewReader(data))
+		if err == nil && sys == nil {
+			t.Fatal("nil system without error")
+		}
+	})
+}

@@ -1,0 +1,268 @@
+// Package core couples the space-parallel Barnes-Hut tree code
+// (package hot, the PEPC analog) with the parallel-in-time integrator
+// PFASST — the paper's central contribution.
+//
+// A space-time run uses PT×PS ranks arranged as in Fig. 2 of the
+// paper: the world communicator is split once by time slice (giving PT
+// spatial "PEPC" communicators of PS ranks each) and once by
+// intra-slice index (giving PS temporal "PFASST" communicators of PT
+// ranks each). Every rank is a member of exactly one of each.
+//
+// Spatial coarsening for the coarse PFASST level is obtained through
+// the multipole acceptance criterion: the fine propagator evaluates
+// forces with θ_fine (accurate, slow), the coarse propagator with
+// θ_coarse > θ_fine (cheap, inexact), exactly as in Section IV-B.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/field"
+	"repro/internal/hot"
+	"repro/internal/kernel"
+	"repro/internal/machine"
+	"repro/internal/mpi"
+	"repro/internal/particle"
+	"repro/internal/pfasst"
+	"repro/internal/sdc"
+	"repro/internal/vec"
+)
+
+// VortexSystem adapts any field.Evaluator (direct solver or serial
+// tree) to the ode.System interface for single-process runs: the flat
+// state holds positions and circulation vectors (particle.Pack layout)
+// and the right-hand side is (u, dα/dt) from the evaluator.
+type VortexSystem struct {
+	template *particle.System
+	eval     field.Evaluator
+	work     *particle.System
+	vel, str []vec.Vec3
+}
+
+// NewVortexSystem returns the ODE view of a particle system under the
+// given evaluator. The template's volumes and σ are reused for every
+// evaluation; positions and circulations come from the ODE state.
+func NewVortexSystem(template *particle.System, eval field.Evaluator) *VortexSystem {
+	return &VortexSystem{
+		template: template,
+		eval:     eval,
+		work:     template.Clone(),
+		vel:      make([]vec.Vec3, template.N()),
+		str:      make([]vec.Vec3, template.N()),
+	}
+}
+
+// Dim implements ode.System.
+func (v *VortexSystem) Dim() int { return v.template.StateLen() }
+
+// F implements ode.System.
+func (v *VortexSystem) F(t float64, u, f []float64) {
+	v.work.Unpack(u)
+	v.eval.Eval(v.work, v.vel, v.str)
+	for i := range v.vel {
+		o := 6 * i
+		f[o+0], f[o+1], f[o+2] = v.vel[i].X, v.vel[i].Y, v.vel[i].Z
+		f[o+3], f[o+4], f[o+5] = v.str[i].X, v.str[i].Y, v.str[i].Z
+	}
+}
+
+// Evaluator returns the wrapped evaluator (for statistics).
+func (v *VortexSystem) Evaluator() field.Evaluator { return v.eval }
+
+// DistVortexSystem is the distributed counterpart: the state holds the
+// rank's local particles and the right-hand side is computed
+// collectively by the parallel tree on the rank's spatial communicator.
+type DistVortexSystem struct {
+	local    *particle.System
+	solver   *hot.Solver
+	work     *particle.System
+	vel, str []vec.Vec3
+	// Evals counts collective force evaluations.
+	Evals int64
+	// Interactions accumulates this rank's interaction counts.
+	Interactions int64
+}
+
+// NewDistVortexSystem returns the distributed ODE view for the rank's
+// local share of the particles.
+func NewDistVortexSystem(local *particle.System, solver *hot.Solver) *DistVortexSystem {
+	return &DistVortexSystem{
+		local:  local,
+		solver: solver,
+		work:   local.Clone(),
+		vel:    make([]vec.Vec3, local.N()),
+		str:    make([]vec.Vec3, local.N()),
+	}
+}
+
+// Dim implements ode.System.
+func (d *DistVortexSystem) Dim() int { return d.local.StateLen() }
+
+// F implements ode.System (collective over the spatial communicator).
+func (d *DistVortexSystem) F(t float64, u, f []float64) {
+	d.work.Unpack(u)
+	d.solver.Eval(d.work, d.vel, d.str)
+	d.Evals++
+	d.Interactions += d.solver.Last.Interactions
+	for i := range d.vel {
+		o := 6 * i
+		f[o+0], f[o+1], f[o+2] = d.vel[i].X, d.vel[i].Y, d.vel[i].Z
+		f[o+3], f[o+4], f[o+5] = d.str[i].X, d.str[i].Y, d.str[i].Z
+	}
+}
+
+// Config parameterizes a space-time run.
+type Config struct {
+	// PT and PS are the temporal and spatial rank counts; the world
+	// communicator must have exactly PT·PS ranks.
+	PT, PS int
+	// Sm and Scheme select the smoothing kernel and stretching form.
+	Sm     kernel.Smoothing
+	Scheme kernel.Scheme
+	// ThetaFine and ThetaCoarse are the MAC parameters of the fine and
+	// coarse PFASST levels (paper: 0.3 and 0.6).
+	ThetaFine, ThetaCoarse float64
+	// NodesFine and NodesCoarse are the collocation node counts
+	// (paper: 3 and 2).
+	NodesFine, NodesCoarse int
+	// Levels, when non-empty, overrides the two-level configuration
+	// with an arbitrary hierarchy (finest first): each entry gives the
+	// MAC parameter and collocation node count of one PFASST level.
+	// Node counts must be nested (e.g. 5/3/2).
+	Levels []LevelTheta
+	// Iterations and CoarseSweeps select PFASST(X, Y, ·).
+	Iterations, CoarseSweeps int
+	// Tol, when positive, lets PFASST stop iterating early once the
+	// global slice-end update falls below it.
+	Tol float64
+	// LeafCap is the tree bucket size.
+	LeafCap int
+	// Dipole enables cluster dipole corrections.
+	Dipole bool
+	// Threads selects the per-rank traversal worker count (the
+	// Pthreads analog of PEPC; ≤1 = synchronous).
+	Threads int
+	// Model, when non-nil, drives the virtual clocks.
+	Model *machine.CostModel
+}
+
+// Default returns the paper's configuration PFASST(2,2,·) with
+// θ = 0.3/0.6 on 3/2 Lobatto nodes.
+func Default(pt, ps int) Config {
+	return Config{
+		PT: pt, PS: ps,
+		Sm:        kernel.Algebraic6(),
+		Scheme:    kernel.Transpose,
+		ThetaFine: 0.3, ThetaCoarse: 0.6,
+		NodesFine: 3, NodesCoarse: 2,
+		Iterations: 2, CoarseSweeps: 2,
+		LeafCap: 8,
+		Dipole:  true,
+	}
+}
+
+// LevelTheta describes one level of a custom space-time hierarchy.
+type LevelTheta struct {
+	Theta  float64
+	NNodes int
+}
+
+// Result is one world rank's view of a space-time run.
+type Result struct {
+	// Local holds the rank's local particles advanced to the final
+	// time (every time slice ends with the same copy).
+	Local *particle.System
+	// SpatialIndex identifies which block of the initial particle
+	// ordering Local corresponds to.
+	SpatialIndex int
+	// TimeSlice is this rank's slice index.
+	TimeSlice int
+	// PFASST carries the per-block residual diagnostics.
+	PFASST pfasst.Result
+	// FineEvals / CoarseEvals count collective force evaluations of
+	// the two levels on this rank.
+	FineEvals, CoarseEvals int64
+}
+
+// RunSpaceTime advances the full particle system from t0 to t1 in
+// nsteps steps using PT×PS-way space-time parallelism. Every world
+// rank must call it with identical arguments; the world communicator
+// must have PT·PS ranks and nsteps must be a multiple of PT.
+func RunSpaceTime(world *mpi.Comm, cfg Config, full *particle.System, t0, t1 float64, nsteps int) (Result, error) {
+	if world.Size() != cfg.PT*cfg.PS {
+		return Result{}, fmt.Errorf("core: world has %d ranks, config wants PT×PS = %d×%d",
+			world.Size(), cfg.PT, cfg.PS)
+	}
+	slice := world.Rank() / cfg.PS
+	spatial := world.Rank() % cfg.PS
+	spaceComm := world.Split(slice, spatial)
+	timeComm := world.Split(spatial, slice)
+
+	local := hot.BlockPartition(full, spatial, cfg.PS)
+	levels := cfg.Levels
+	if len(levels) == 0 {
+		levels = []LevelTheta{
+			{Theta: cfg.ThetaFine, NNodes: cfg.NodesFine},
+			{Theta: cfg.ThetaCoarse, NNodes: cfg.NodesCoarse},
+		}
+	}
+	specs := make([]pfasst.LevelSpec, len(levels))
+	systems := make([]*DistVortexSystem, len(levels))
+	for i, l := range levels {
+		solver := hot.New(spaceComm, hot.Config{
+			Sm: cfg.Sm, Scheme: cfg.Scheme, Theta: l.Theta,
+			LeafCap: cfg.LeafCap, Dipole: cfg.Dipole, Model: cfg.Model, Threads: cfg.Threads,
+		})
+		systems[i] = NewDistVortexSystem(local, solver)
+		specs[i] = pfasst.LevelSpec{Sys: systems[i], NNodes: l.NNodes}
+	}
+	fineSys := systems[0]
+	coarseSys := systems[len(systems)-1]
+
+	pcfg := pfasst.Config{
+		Levels:       specs,
+		Iterations:   cfg.Iterations,
+		CoarseSweeps: cfg.CoarseSweeps,
+		Tol:          cfg.Tol,
+	}
+	u0 := local.PackNew()
+	pres, err := pfasst.Run(timeComm, pcfg, t0, t1, nsteps, u0)
+	if err != nil {
+		return Result{}, err
+	}
+	out := local.Clone()
+	out.Unpack(pres.U)
+	return Result{
+		Local:        out,
+		SpatialIndex: spatial,
+		TimeSlice:    slice,
+		PFASST:       pres,
+		FineEvals:    fineSys.Evals,
+		CoarseEvals:  coarseSys.Evals,
+	}, nil
+}
+
+// RunSpaceSerialSDC is the purely space-parallel baseline: time-serial
+// SDC(sweeps) on the spatial communicator, using the parallel tree
+// with θ_fine for every force evaluation. It advances the rank's local
+// particles in place and returns the per-step collocation residuals.
+func RunSpaceSerialSDC(spaceComm *mpi.Comm, cfg Config, local *particle.System,
+	t0, t1 float64, nsteps, nnodes, sweeps int) ([]float64, error) {
+	if nsteps < 1 {
+		return nil, fmt.Errorf("core: nsteps %d < 1", nsteps)
+	}
+	solver := hot.New(spaceComm, hot.Config{
+		Sm: cfg.Sm, Scheme: cfg.Scheme, Theta: cfg.ThetaFine,
+		LeafCap: cfg.LeafCap, Dipole: cfg.Dipole, Model: cfg.Model, Threads: cfg.Threads,
+	})
+	sys := NewDistVortexSystem(local, solver)
+	in := sdc.NewIntegrator(sys, nnodes, sweeps)
+	u := local.PackNew()
+	residuals := make([]float64, 0, nsteps)
+	dt := (t1 - t0) / float64(nsteps)
+	for n := 0; n < nsteps; n++ {
+		residuals = append(residuals, in.StepResidual(t0+float64(n)*dt, dt, u))
+	}
+	local.Unpack(u)
+	return residuals, nil
+}

@@ -1,0 +1,89 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/kernel"
+	"repro/internal/particle"
+	"repro/internal/tree"
+	"repro/internal/vec"
+)
+
+// GravitySystem is the ODE view of the gravitation discipline — the
+// application PEPC began with. The flat state holds positions and
+// velocities ([x y z vx vy vz] per particle); the right-hand side is
+// (v, a) with accelerations from the Barnes-Hut Coulomb pass using the
+// particle Charge attribute as mass and the attractive sign.
+type GravitySystem struct {
+	template *particle.System
+	solver   *tree.Solver
+	// G is the gravitational constant; Eps the Plummer softening.
+	G, Eps float64
+
+	work *particle.System
+	pot  []float64
+	acc  []vec.Vec3
+}
+
+// NewGravitySystem returns the gravity ODE for the system with the
+// given MAC parameter.
+func NewGravitySystem(template *particle.System, theta, g, eps float64) *GravitySystem {
+	return &GravitySystem{
+		template: template,
+		solver:   tree.NewSolver(kernel.Algebraic2(), kernel.Transpose, theta),
+		G:        g, Eps: eps,
+		work: template.Clone(),
+		pot:  make([]float64, template.N()),
+		acc:  make([]vec.Vec3, template.N()),
+	}
+}
+
+// Dim implements ode.System: six doubles per particle.
+func (g *GravitySystem) Dim() int { return 6 * g.template.N() }
+
+// PackState builds the flat state from positions and velocities.
+func (g *GravitySystem) PackState(sys *particle.System, vel []vec.Vec3) []float64 {
+	if len(vel) != sys.N() {
+		panic(fmt.Sprintf("core: %d velocities for %d particles", len(vel), sys.N()))
+	}
+	u := make([]float64, 6*sys.N())
+	for i, p := range sys.Particles {
+		o := 6 * i
+		u[o+0], u[o+1], u[o+2] = p.Pos.X, p.Pos.Y, p.Pos.Z
+		u[o+3], u[o+4], u[o+5] = vel[i].X, vel[i].Y, vel[i].Z
+	}
+	return u
+}
+
+// UnpackState writes positions into sys and returns the velocities.
+func (g *GravitySystem) UnpackState(u []float64, sys *particle.System) []vec.Vec3 {
+	if len(u) != 6*sys.N() {
+		panic("core: gravity state length mismatch")
+	}
+	vel := make([]vec.Vec3, sys.N())
+	for i := range sys.Particles {
+		o := 6 * i
+		sys.Particles[i].Pos = vec.V3(u[o+0], u[o+1], u[o+2])
+		vel[i] = vec.V3(u[o+3], u[o+4], u[o+5])
+	}
+	return vel
+}
+
+// F implements ode.System.
+func (g *GravitySystem) F(t float64, u, f []float64) {
+	for i := range g.work.Particles {
+		o := 6 * i
+		g.work.Particles[i].Pos = vec.V3(u[o+0], u[o+1], u[o+2])
+	}
+	g.solver.Coulomb(g.work, g.Eps, g.pot, g.acc)
+	for i := range g.work.Particles {
+		o := 6 * i
+		// dx/dt = v
+		f[o+0], f[o+1], f[o+2] = u[o+3], u[o+4], u[o+5]
+		// dv/dt = −G·E (the Coulomb field of positive masses is
+		// repulsive; gravity attracts)
+		f[o+3] = -g.G * g.acc[i].X
+		f[o+4] = -g.G * g.acc[i].Y
+		f[o+5] = -g.G * g.acc[i].Z
+	}
+}

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/particle"
+	"repro/internal/sdc"
+	"repro/internal/vec"
+)
+
+// twoBody builds an equal-mass binary on a circular orbit: masses 1 at
+// ±0.5 on the x-axis, speeds √(1/2)·... with G=1, separation d=1 the
+// circular speed of each body is v = √(G·m/(2d)) = √0.5/... derived:
+// m v²/r = G m²/d² with r = d/2 ⇒ v = √(G m/(2 d)).
+func twoBody() (*particle.System, []vec.Vec3, float64) {
+	const G, m, d = 1.0, 1.0, 1.0
+	v := math.Sqrt(G * m / (2 * d))
+	sys := &particle.System{Sigma: 0.01, Particles: []particle.Particle{
+		{Pos: vec.V3(-d/2, 0, 0), Charge: m, Vol: 1},
+		{Pos: vec.V3(d/2, 0, 0), Charge: m, Vol: 1},
+	}}
+	vel := []vec.Vec3{vec.V3(0, -v, 0), vec.V3(0, v, 0)}
+	period := 2 * math.Pi * (d / 2) / v
+	return sys, vel, period
+}
+
+func TestTwoBodyCircularOrbit(t *testing.T) {
+	sys, vel, period := twoBody()
+	g := NewGravitySystem(sys, 0, 1, 0) // θ=0: exact pairwise gravity
+	u := g.PackState(sys, vel)
+	sdc.NewIntegrator(g, 3, 4).Integrate(0, period, 64, u)
+	out := sys.Clone()
+	g.UnpackState(u, out)
+	// After one period both bodies return to their starting points.
+	for i := range out.Particles {
+		d := out.Particles[i].Pos.Sub(sys.Particles[i].Pos).Norm()
+		if d > 1e-4 {
+			t.Fatalf("body %d displaced by %g after one period", i, d)
+		}
+	}
+}
+
+func TestTwoBodyEnergyConservation(t *testing.T) {
+	sys, vel, period := twoBody()
+	g := NewGravitySystem(sys, 0, 1, 0)
+	energy := func(u []float64) float64 {
+		out := sys.Clone()
+		v := g.UnpackState(u, out)
+		kin := 0.0
+		for i, p := range out.Particles {
+			kin += 0.5 * p.Charge * v[i].Norm2()
+		}
+		d := out.Particles[0].Pos.Sub(out.Particles[1].Pos).Norm()
+		return kin - 1.0/d
+	}
+	u := g.PackState(sys, vel)
+	e0 := energy(u)
+	sdc.NewIntegrator(g, 3, 4).Integrate(0, 2*period, 128, u)
+	e1 := energy(u)
+	if math.Abs(e1-e0) > 1e-5*math.Abs(e0) {
+		t.Fatalf("energy drift %g -> %g", e0, e1)
+	}
+}
+
+func TestGravityTreeMatchesDirectOrbit(t *testing.T) {
+	// A small cluster integrated with θ=0.4 tree gravity stays close to
+	// the θ=0 (direct) trajectory over a short horizon.
+	cloud := particle.HomogeneousCoulomb(60, 91)
+	for i := range cloud.Particles {
+		cloud.Particles[i].Charge = 1.0 / 60 // masses
+	}
+	vel := make([]vec.Vec3, cloud.N())
+
+	run := func(theta float64) *particle.System {
+		sys := cloud.Clone()
+		g := NewGravitySystem(sys, theta, 1, 0.05)
+		u := g.PackState(sys, vel)
+		sdc.NewIntegrator(g, 3, 4).Integrate(0, 0.5, 4, u)
+		out := sys.Clone()
+		g.UnpackState(u, out)
+		return out
+	}
+	exact := run(0)
+	approx := run(0.4)
+	maxD := 0.0
+	for i := range exact.Particles {
+		maxD = math.Max(maxD, exact.Particles[i].Pos.Sub(approx.Particles[i].Pos).Norm())
+	}
+	if maxD > 1e-3 {
+		t.Fatalf("tree-gravity trajectory deviates by %g", maxD)
+	}
+	if maxD == 0 {
+		t.Fatal("tree and direct identical — MAC never fired?")
+	}
+}
+
+func TestGravityStatePackUnpack(t *testing.T) {
+	sys, vel, _ := twoBody()
+	g := NewGravitySystem(sys, 0.3, 1, 0.01)
+	u := g.PackState(sys, vel)
+	if len(u) != g.Dim() {
+		t.Fatalf("state length %d, want %d", len(u), g.Dim())
+	}
+	out := sys.Clone()
+	gotVel := g.UnpackState(u, out)
+	for i := range vel {
+		if gotVel[i] != vel[i] || out.Particles[i].Pos != sys.Particles[i].Pos {
+			t.Fatal("round trip failed")
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	g.PackState(sys, vel[:1])
+}

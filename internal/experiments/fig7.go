@@ -1,0 +1,225 @@
+package experiments
+
+import (
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/direct"
+	"repro/internal/kernel"
+	"repro/internal/mpi"
+	"repro/internal/particle"
+	"repro/internal/pfasst"
+	"repro/internal/sdc"
+)
+
+// Fig7Config parameterizes the accuracy study of Section IV-A: direct
+// summation on a small spherical vortex sheet, errors measured against
+// a high-order SDC reference run (the paper: N = 10,000, T = 16,
+// reference Δt = 0.01 with 8th-order SDC).
+type Fig7Config struct {
+	N    int
+	TEnd float64
+	// Dts are the step sizes of the study, largest first.
+	Dts []float64
+	// RefDt is the reference step size (≪ min(Dts)).
+	RefDt float64
+	// PTs are the time-rank counts of the PFASST runs (paper: 8, 16).
+	PTs []int
+}
+
+// DefaultFig7 returns a laptop-scale configuration preserving the
+// convergence-order content of Fig. 7.
+// Dts are chosen so that TEnd/dt is a multiple of every PT: PFASST's
+// block structure then runs at exactly the nominal step size.
+func DefaultFig7() Fig7Config {
+	return Fig7Config{
+		N:     200,
+		TEnd:  4,
+		Dts:   []float64{0.5, 0.25, 0.125},
+		RefDt: 0.03125,
+		PTs:   []int{4, 8},
+	}
+}
+
+// PaperFig7 returns the paper's exact Section IV-A configuration
+// (N = 10,000 direct summation, T = 16, reference Δt = 0.01 — hours of
+// single-core compute; use the scaled default unless you mean it).
+func PaperFig7() Fig7Config {
+	return Fig7Config{
+		N:     10000,
+		TEnd:  16,
+		Dts:   []float64{1, 0.5, 0.25},
+		RefDt: 0.01,
+		PTs:   []int{8, 16},
+	}
+}
+
+// referenceRun integrates with 8th-order SDC (5 Lobatto nodes, 8
+// sweeps) at the reference step size.
+func (cfg Fig7Config) referenceRun(full *particle.System) *particle.System {
+	sys := core.NewVortexSystem(full, direct.New(kernel.Algebraic6(), kernel.Transpose, 0))
+	u := full.PackNew()
+	nsteps := int(math.Round(cfg.TEnd / cfg.RefDt))
+	sdc.NewIntegrator(sys, 5, 8).Integrate(0, cfg.TEnd, nsteps, u)
+	out := full.Clone()
+	out.Unpack(u)
+	return out
+}
+
+// Fig7aResult holds one SDC error curve.
+type Fig7aResult struct {
+	Sweeps int
+	Dts    []float64
+	Errors []float64
+	// Order is the rate fitted between the two smallest step sizes.
+	Order float64
+}
+
+// Fig7aSDCConvergence reproduces Fig. 7a: relative maximum position
+// errors of SDC(2), SDC(3), SDC(4) on three Gauss–Lobatto nodes versus
+// step size, against the high-order reference run.
+func Fig7aSDCConvergence(cfg Fig7Config) ([]Fig7aResult, *Table) {
+	full := particle.SphericalVortexSheet(particle.ScaledSheet(cfg.N))
+	ref := cfg.referenceRun(full)
+
+	var results []Fig7aResult
+	for _, sweeps := range []int{2, 3, 4} {
+		r := Fig7aResult{Sweeps: sweeps, Dts: cfg.Dts}
+		for _, dt := range cfg.Dts {
+			sys := core.NewVortexSystem(full, direct.New(kernel.Algebraic6(), kernel.Transpose, 0))
+			u := full.PackNew()
+			nsteps := int(math.Round(cfg.TEnd / dt))
+			sdc.NewIntegrator(sys, 3, sweeps).Integrate(0, cfg.TEnd, nsteps, u)
+			got := full.Clone()
+			got.Unpack(u)
+			r.Errors = append(r.Errors, particle.RelMaxPositionError(got, ref))
+		}
+		n := len(r.Errors)
+		r.Order = math.Log(r.Errors[n-2]/r.Errors[n-1]) /
+			math.Log(cfg.Dts[n-2]/cfg.Dts[n-1])
+		results = append(results, r)
+	}
+
+	tb := &Table{
+		Title:  "Fig. 7a — SDC(k) relative max position error vs dt",
+		Header: []string{"dt", "SDC(2)", "SDC(3)", "SDC(4)"},
+	}
+	for i, dt := range cfg.Dts {
+		tb.AddRow(f("%.4f", dt),
+			f("%.3e", results[0].Errors[i]),
+			f("%.3e", results[1].Errors[i]),
+			f("%.3e", results[2].Errors[i]))
+	}
+	for _, r := range results {
+		tb.AddNote("SDC(%d) fitted order: %.2f (paper: %d)", r.Sweeps, r.Order, r.Sweeps)
+	}
+	tb.AddNote("N=%d direct summation, T=%g, reference: SDC(8th order), dt=%g", cfg.N, cfg.TEnd, cfg.RefDt)
+	return results, tb
+}
+
+// Fig7bResult holds one PFASST error curve.
+type Fig7bResult struct {
+	Iters  int // X in PFASST(X,2,PT)
+	PT     int
+	Dts    []float64
+	Errors []float64
+	Order  float64
+}
+
+// Fig7bPFASSTConvergence reproduces Fig. 7b: PFASST(1,2,PT) and
+// PFASST(2,2,PT) against SDC(3) and SDC(4), all with 3 fine and 2
+// coarse Lobatto nodes.
+func Fig7bPFASSTConvergence(cfg Fig7Config) ([]Fig7aResult, []Fig7bResult, *Table) {
+	full := particle.SphericalVortexSheet(particle.ScaledSheet(cfg.N))
+	ref := cfg.referenceRun(full)
+
+	sdcRun := func(sweeps int, dt float64) float64 {
+		sys := core.NewVortexSystem(full, direct.New(kernel.Algebraic6(), kernel.Transpose, 0))
+		u := full.PackNew()
+		nsteps := int(math.Round(cfg.TEnd / dt))
+		sdc.NewIntegrator(sys, 3, sweeps).Integrate(0, cfg.TEnd, nsteps, u)
+		got := full.Clone()
+		got.Unpack(u)
+		return particle.RelMaxPositionError(got, ref)
+	}
+	var sdcCurves []Fig7aResult
+	for _, sweeps := range []int{3, 4} {
+		r := Fig7aResult{Sweeps: sweeps, Dts: cfg.Dts}
+		for _, dt := range cfg.Dts {
+			r.Errors = append(r.Errors, sdcRun(sweeps, dt))
+		}
+		n := len(r.Errors)
+		r.Order = math.Log(r.Errors[n-2]/r.Errors[n-1]) / math.Log(cfg.Dts[n-2]/cfg.Dts[n-1])
+		sdcCurves = append(sdcCurves, r)
+	}
+
+	pfasstRun := func(iters, pt int, dt float64) float64 {
+		nsteps := int(math.Round(cfg.TEnd / dt))
+		// Round up to a multiple of the time ranks (block structure);
+		// with the default Dts this is a no-op.
+		for nsteps%pt != 0 {
+			nsteps++
+		}
+		var errOut float64
+		err := mpi.Run(pt, func(c *mpi.Comm) error {
+			sysF := core.NewVortexSystem(full, direct.New(kernel.Algebraic6(), kernel.Transpose, 1))
+			sysC := core.NewVortexSystem(full, direct.New(kernel.Algebraic6(), kernel.Transpose, 1))
+			pcfg := pfasst.Config{
+				Levels: []pfasst.LevelSpec{
+					{Sys: sysF, NNodes: 3},
+					{Sys: sysC, NNodes: 2},
+				},
+				Iterations:   iters,
+				CoarseSweeps: 2,
+			}
+			res, err := pfasst.Run(c, pcfg, 0, cfg.TEnd, nsteps, full.PackNew())
+			if err != nil {
+				return err
+			}
+			if c.Rank() == pt-1 {
+				got := full.Clone()
+				got.Unpack(res.U)
+				errOut = particle.RelMaxPositionError(got, ref)
+			}
+			c.Barrier()
+			return nil
+		})
+		if err != nil {
+			panic(err)
+		}
+		return errOut
+	}
+
+	var pfCurves []Fig7bResult
+	for _, iters := range []int{1, 2} {
+		for _, pt := range cfg.PTs {
+			r := Fig7bResult{Iters: iters, PT: pt, Dts: cfg.Dts}
+			for _, dt := range cfg.Dts {
+				r.Errors = append(r.Errors, pfasstRun(iters, pt, dt))
+			}
+			n := len(r.Errors)
+			r.Order = math.Log(r.Errors[n-2]/r.Errors[n-1]) / math.Log(cfg.Dts[n-2]/cfg.Dts[n-1])
+			pfCurves = append(pfCurves, r)
+		}
+	}
+
+	tb := &Table{
+		Title:  "Fig. 7b — PFASST(X,2,PT) vs SDC(3)/SDC(4), rel. max position error",
+		Header: []string{"dt", "SDC(3)", "SDC(4)"},
+	}
+	for _, r := range pfCurves {
+		tb.Header = append(tb.Header, f("PF(%d,2,%d)", r.Iters, r.PT))
+	}
+	for i, dt := range cfg.Dts {
+		row := []string{f("%.4f", dt), f("%.3e", sdcCurves[0].Errors[i]), f("%.3e", sdcCurves[1].Errors[i])}
+		for _, r := range pfCurves {
+			row = append(row, f("%.3e", r.Errors[i]))
+		}
+		tb.AddRow(row...)
+	}
+	for _, r := range pfCurves {
+		tb.AddNote("PFASST(%d,2,%d) fitted order: %.2f", r.Iters, r.PT, r.Order)
+	}
+	tb.AddNote("paper: one iteration approximates SDC(3); two iterations approximate SDC(4)")
+	return sdcCurves, pfCurves, tb
+}

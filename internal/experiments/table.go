@@ -1,0 +1,81 @@
+// Package experiments regenerates every table and figure of the
+// paper's evaluation section (see DESIGN.md for the experiment index):
+//
+//	E1  Fig. 1   vortex sheet evolution
+//	E2  Fig. 5   PEPC strong scaling (executed + modeled)
+//	E3  Fig. 7a  SDC convergence
+//	E4  Fig. 7b  PFASST convergence
+//	E5  §IV-B    θ-coarsening cost ratio and α
+//	E6  §IV-B    PFASST residuals per time slice
+//	E7  Fig. 8   space-time speedup vs theory
+//	E8  Eq. 23–25 speedup model sweep
+//
+// Each experiment accepts a scaled-down default configuration (the
+// paper's sizes are Blue Gene/P scale) and reports the same rows or
+// series the paper shows; EXPERIMENTS.md records the shape comparison.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a printable experiment result.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// AddNote appends a free-form annotation printed under the table.
+func (t *Table) AddNote(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// Fprint renders the table with aligned columns.
+func (t *Table) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "== %s ==\n", t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	printRow := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	printRow(t.Header)
+	for _, row := range t.Rows {
+		printRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "# %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// CSV writes the table as comma-separated values.
+func (t *Table) CSV(w io.Writer) {
+	fmt.Fprintln(w, strings.Join(t.Header, ","))
+	for _, row := range t.Rows {
+		fmt.Fprintln(w, strings.Join(row, ","))
+	}
+}
+
+func f(format string, args ...any) string { return fmt.Sprintf(format, args...) }

@@ -1,0 +1,40 @@
+// Package field defines the interface between particle-field solvers
+// (direct summation, Barnes-Hut tree, parallel tree) and their
+// consumers (time integrators, experiments).
+//
+// An Evaluator computes the right-hand sides of the vortex particle
+// evolution equations (5)–(6) of the paper for every particle: the
+// induced velocity u(x_q) and the stretching term dα_q/dt. The fidelity
+// of an Evaluator (direct vs. tree, MAC parameter θ) is exactly what
+// PFASST varies between its fine and coarse levels.
+package field
+
+import (
+	"repro/internal/particle"
+	"repro/internal/vec"
+)
+
+// Evaluator computes velocities and stretching terms for all particles
+// of a system. vel and stretch must have length sys.N(); both are fully
+// overwritten.
+type Evaluator interface {
+	Eval(sys *particle.System, vel, stretch []vec.Vec3)
+	// Name identifies the evaluator for logs and experiment tables.
+	Name() string
+	// Stats returns counters accumulated since construction (or the
+	// last Reset, if the implementation has one).
+	Stats() Stats
+}
+
+// Stats counts the work performed by an evaluator. The interaction
+// count drives the performance model of the scaling experiments.
+type Stats struct {
+	Evaluations  int64 // number of Eval calls
+	Interactions int64 // pairwise (particle–particle or particle–cluster) interactions
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(other Stats) {
+	s.Evaluations += other.Evaluations
+	s.Interactions += other.Interactions
+}

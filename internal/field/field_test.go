@@ -1,0 +1,11 @@
+package field
+
+import "testing"
+
+func TestStatsAdd(t *testing.T) {
+	a := Stats{Evaluations: 2, Interactions: 100}
+	a.Add(Stats{Evaluations: 3, Interactions: 50})
+	if a.Evaluations != 5 || a.Interactions != 150 {
+		t.Fatalf("Add = %+v", a)
+	}
+}

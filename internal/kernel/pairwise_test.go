@@ -1,0 +1,214 @@
+package kernel
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/vec"
+)
+
+func TestVelocityZeroSeparation(t *testing.T) {
+	pw := Pairwise{Sm: Algebraic6(), Sigma: 0.1}
+	if got := pw.Velocity(vec.Zero3, vec.V3(1, 2, 3)); got != vec.Zero3 {
+		t.Fatalf("self-induced velocity = %v, want 0", got)
+	}
+	u, g := pw.VelocityGrad(vec.Zero3, vec.V3(1, 2, 3))
+	if u != vec.Zero3 || g != (vec.Mat3{}) {
+		t.Fatalf("self-induced grad = %v %v, want zero", u, g)
+	}
+}
+
+func TestVelocityFarFieldMatchesSingular(t *testing.T) {
+	// Far from the core the regularized kernel reduces to the singular
+	// Biot–Savart kernel.
+	alpha := vec.V3(0.3, -0.2, 0.9)
+	r := vec.V3(5, -3, 2) // |r| ≈ 6.16, σ = 0.05 ⇒ ρ ≈ 123
+	reg := Pairwise{Sm: Algebraic6(), Sigma: 0.05}
+	sing := Pairwise{Sm: Singular(), Sigma: 1}
+	u1, u2 := reg.Velocity(r, alpha), sing.Velocity(r, alpha)
+	if u1.Sub(u2).Norm() > 1e-10*u2.Norm() {
+		t.Fatalf("far field: regularized %v vs singular %v", u1, u2)
+	}
+}
+
+func TestVelocityAgainstHandComputed(t *testing.T) {
+	// Singular kernel, r = (1,0,0), α = (0,0,1):
+	// u = −(1/4π) (r × α)/|r|³ = −(1/4π)(0·? ...) r×α = (0,-1,0)·? …
+	// r×α = (1,0,0)×(0,0,1) = (0·1−0·0, 0·0−1·1, 0) = (0,−1,0)
+	// ⇒ u = (0, 1/4π, 0).
+	pw := Pairwise{Sm: Singular(), Sigma: 1}
+	u := pw.Velocity(vec.V3(1, 0, 0), vec.V3(0, 0, 1))
+	want := vec.V3(0, 1/(4*math.Pi), 0)
+	if u.Sub(want).Norm() > 1e-14 {
+		t.Fatalf("u = %v, want %v", u, want)
+	}
+}
+
+func TestVelocityGradMatchesFiniteDifference(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, sm := range allKernels() {
+		pw := Pairwise{Sm: sm, Sigma: 0.7}
+		for iter := 0; iter < 20; iter++ {
+			r := vec.V3(rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64())
+			if r.Norm() < 0.05 {
+				continue
+			}
+			alpha := vec.V3(rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64())
+			_, grad := pw.VelocityGrad(r, alpha)
+			h := 1e-6
+			for j := 0; j < 3; j++ {
+				rp := r.WithComponent(j, r.Component(j)+h)
+				rm := r.WithComponent(j, r.Component(j)-h)
+				up := pw.Velocity(rp, alpha)
+				um := pw.Velocity(rm, alpha)
+				fd := up.Sub(um).Scale(1 / (2 * h))
+				for i := 0; i < 3; i++ {
+					got := grad[i][j]
+					want := fd.Component(i)
+					if math.Abs(got-want) > 2e-5*(1+math.Abs(want)) {
+						t.Fatalf("%s: grad[%d][%d] = %v, fd = %v (r=%v)",
+							sm.Name(), i, j, got, want, r)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestGradSmallRhoBranchContinuity(t *testing.T) {
+	// The H(ρ) series branch and the direct branch must agree near the
+	// switch radius.
+	for _, sm := range allKernels() {
+		pw := Pairwise{Sm: sm, Sigma: 1}
+		rho := hSwitch * 0.999 // h() takes the series branch here
+		series := pw.h(rho)
+		r5 := rho * rho * rho * rho * rho
+		direct := (rho*sm.QPrime(rho) - 3*sm.Q(rho)) / r5
+		if math.Abs(series-direct) > 1e-6*(1+math.Abs(direct)) {
+			t.Errorf("%s: H branches disagree at switch: series %v vs direct %v",
+				sm.Name(), series, direct)
+		}
+	}
+}
+
+func TestGradNoCatastrophicCancellation(t *testing.T) {
+	// For very small separations the gradient must stay finite and the
+	// velocity must vanish smoothly (≈ solid-body rotation inside the
+	// core).
+	pw := Pairwise{Sm: Algebraic6(), Sigma: 1}
+	alpha := vec.V3(0, 0, 1)
+	for _, d := range []float64{1e-8, 1e-6, 1e-4, 1e-3, 1e-2} {
+		u, g := pw.VelocityGrad(vec.V3(d, 0, 0), alpha)
+		if !u.IsFinite() {
+			t.Fatalf("velocity not finite at d=%v: %v", d, u)
+		}
+		for i := 0; i < 3; i++ {
+			for j := 0; j < 3; j++ {
+				if math.IsNaN(g[i][j]) || math.IsInf(g[i][j], 0) {
+					t.Fatalf("grad not finite at d=%v: %v", d, g)
+				}
+			}
+		}
+	}
+}
+
+func TestVelocityAntisymmetricInSeparation(t *testing.T) {
+	// u(r) = −u(−r) for a fixed α (the kernel is odd in r).
+	pw := Pairwise{Sm: Algebraic6(), Sigma: 0.3}
+	rng := rand.New(rand.NewSource(8))
+	for iter := 0; iter < 40; iter++ {
+		r := vec.V3(rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64())
+		a := vec.V3(rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64())
+		u1 := pw.Velocity(r, a)
+		u2 := pw.Velocity(r.Neg(), a)
+		if u1.Add(u2).Norm() > 1e-12*(u1.Norm()+1) {
+			t.Fatalf("not antisymmetric: %v vs %v", u1, u2)
+		}
+	}
+}
+
+func TestVelocityParallelAlphaIsZero(t *testing.T) {
+	// r × α = 0 when r ∥ α.
+	pw := Pairwise{Sm: Algebraic4(), Sigma: 0.3}
+	u := pw.Velocity(vec.V3(2, 2, 2), vec.V3(-1, -1, -1))
+	if u.Norm() > 1e-14 {
+		t.Fatalf("parallel-α velocity = %v, want 0", u)
+	}
+}
+
+func TestStretchSchemes(t *testing.T) {
+	g := vec.Mat3{{1, 2, 3}, {4, 5, 6}, {7, 8, 9}}
+	a := vec.V3(1, 0, 0)
+	if got := StretchClassical(g, a); got != vec.V3(1, 4, 7) {
+		t.Fatalf("classical = %v", got)
+	}
+	if got := StretchTranspose(g, a); got != vec.V3(1, 2, 3) {
+		t.Fatalf("transpose = %v", got)
+	}
+	if Transpose.Stretch(g, a) != StretchTranspose(g, a) {
+		t.Fatal("Scheme.Stretch(Transpose) mismatch")
+	}
+	if Classical.Stretch(g, a) != StretchClassical(g, a) {
+		t.Fatal("Scheme.Stretch(Classical) mismatch")
+	}
+	if Transpose.String() != "transpose" || Classical.String() != "classical" {
+		t.Fatal("Scheme.String mismatch")
+	}
+}
+
+func TestCoulombFieldIsMinusGradPotentialSign(t *testing.T) {
+	// field = −∇φ for a positive charge: φ decays outward, E points
+	// outward (away from the source).
+	phi, e := Coulomb(vec.V3(1, 0, 0), 1, 0)
+	if phi != 1 {
+		t.Fatalf("phi = %v, want 1", phi)
+	}
+	if e.X <= 0 || e.Y != 0 || e.Z != 0 {
+		t.Fatalf("field = %v, want +x direction", e)
+	}
+	h := 1e-6
+	phiP, _ := Coulomb(vec.V3(1+h, 0, 0), 1, 0)
+	phiM, _ := Coulomb(vec.V3(1-h, 0, 0), 1, 0)
+	grad := (phiP - phiM) / (2 * h)
+	if math.Abs(e.X+grad) > 1e-6 {
+		t.Fatalf("E_x = %v, −dφ/dx = %v", e.X, -grad)
+	}
+}
+
+func TestCoulombSoftening(t *testing.T) {
+	// With Plummer softening the potential is finite at the origin.
+	phi, e := Coulomb(vec.Zero3, 2, 0.1)
+	if math.Abs(phi-20) > 1e-12 {
+		t.Fatalf("softened phi(0) = %v, want 20", phi)
+	}
+	if e != vec.Zero3 {
+		t.Fatalf("softened field(0) = %v, want 0", e)
+	}
+	if phi, _ := Coulomb(vec.Zero3, 1, 0); phi != 0 {
+		t.Fatal("unsoftened origin must return 0 by convention")
+	}
+}
+
+func BenchmarkVelocityAlgebraic6(b *testing.B) {
+	pw := Pairwise{Sm: Algebraic6(), Sigma: 0.1}
+	r := vec.V3(0.3, -0.2, 0.5)
+	a := vec.V3(0.1, 0.7, -0.3)
+	var acc vec.Vec3
+	for i := 0; i < b.N; i++ {
+		acc = acc.Add(pw.Velocity(r, a))
+	}
+	_ = acc
+}
+
+func BenchmarkVelocityGradAlgebraic6(b *testing.B) {
+	pw := Pairwise{Sm: Algebraic6(), Sigma: 0.1}
+	r := vec.V3(0.3, -0.2, 0.5)
+	a := vec.V3(0.1, 0.7, -0.3)
+	var acc vec.Vec3
+	for i := 0; i < b.N; i++ {
+		u, _ := pw.VelocityGrad(r, a)
+		acc = acc.Add(u)
+	}
+	_ = acc
+}

@@ -1,0 +1,149 @@
+// Package machine models the per-operation compute costs of the target
+// machine. Together with the virtual clocks of package mpi (message
+// latency and bandwidth) it turns an executed parallel algorithm into a
+// modeled wall-clock time — the substitution for the paper's Blue
+// Gene/P installation JUGENE (see DESIGN.md).
+//
+// Two models are provided: BlueGeneP returns fixed constants in the
+// range of the 850 MHz PowerPC 450 cores of JUGENE, used for the
+// figure-shape reproductions; Calibrate measures this repository's own
+// Go code on the local host, used to validate that modeled and real
+// times agree at small scale.
+package machine
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/kernel"
+	"repro/internal/vec"
+)
+
+// CostModel holds per-operation compute costs in seconds.
+type CostModel struct {
+	// VortexInteraction is the cost of one particle–particle or
+	// particle–cluster interaction of the vortex discipline (velocity
+	// plus gradient).
+	VortexInteraction float64
+	// CoulombInteraction is the same for the Coulomb discipline.
+	CoulombInteraction float64
+	// SortPerKey is the domain-decomposition cost per local particle
+	// and per log2(N_local) factor (key generation + comparison sort).
+	SortPerKey float64
+	// TreeBuildPerParticle is the local tree construction cost per
+	// particle (insertion + moment accumulation).
+	TreeBuildPerParticle float64
+	// BranchPerNode is the packing/unpacking cost per branch node
+	// exchanged.
+	BranchPerNode float64
+}
+
+// BlueGeneP returns compute costs in the range of a JUGENE core
+// (850 MHz PPC450, ~3.4 GFlop/s peak, a few percent of peak for
+// irregular tree traversal). Absolute values set the y-axis of the
+// scaling figures; the reproduced quantity is the curve shape.
+func BlueGeneP() CostModel {
+	return CostModel{
+		VortexInteraction:    2.5e-7,
+		CoulombInteraction:   1.2e-7,
+		SortPerKey:           2.0e-8,
+		TreeBuildPerParticle: 6.0e-7,
+		BranchPerNode:        2.0e-7,
+	}
+}
+
+// Scale returns the model with every cost multiplied by f (e.g. to
+// model a faster or slower core).
+func (m CostModel) Scale(f float64) CostModel {
+	m.VortexInteraction *= f
+	m.CoulombInteraction *= f
+	m.SortPerKey *= f
+	m.TreeBuildPerParticle *= f
+	m.BranchPerNode *= f
+	return m
+}
+
+// Calibrate measures the repository's own kernels on the local host and
+// returns a cost model for it. It runs for a few tens of milliseconds.
+func Calibrate() CostModel {
+	var m CostModel
+	m.VortexInteraction = timeVortexInteraction()
+	m.CoulombInteraction = timeCoulombInteraction()
+	m.SortPerKey = timeSortPerKey()
+	// Tree build and branch handling are dominated by the same sort
+	// and moment arithmetic; approximate them from the measured
+	// primitives.
+	m.TreeBuildPerParticle = 10 * m.SortPerKey
+	m.BranchPerNode = 4 * m.VortexInteraction
+	return m
+}
+
+func timeVortexInteraction() float64 {
+	pw := kernel.Pairwise{Sm: kernel.Algebraic6(), Sigma: 0.3}
+	r := vec.V3(0.4, -0.3, 0.2)
+	a := vec.V3(0.1, 0.2, -0.1)
+	const n = 200000
+	var acc vec.Vec3
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		u, _ := pw.VelocityGrad(r, a)
+		acc = acc.Add(u)
+	}
+	sink = acc.X
+	return time.Since(start).Seconds() / n
+}
+
+func timeCoulombInteraction() float64 {
+	r := vec.V3(0.4, -0.3, 0.2)
+	const n = 500000
+	accP := 0.0
+	var accE vec.Vec3
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		p, e := kernel.Coulomb(r, 1, 0.01)
+		accP += p
+		accE = accE.Add(e)
+	}
+	sink = accP + accE.X
+	return time.Since(start).Seconds() / n
+}
+
+func timeSortPerKey() float64 {
+	const n = 1 << 16
+	keys := make([]uint64, n)
+	s := uint64(12345)
+	for i := range keys {
+		s = s*6364136223846793005 + 1442695040888963407
+		keys[i] = s
+	}
+	start := time.Now()
+	sort.Slice(keys, func(a, b int) bool { return keys[a] < keys[b] })
+	// One sort is n log2 n comparisons; report per key per log2 n.
+	return time.Since(start).Seconds() / float64(n) / 16
+}
+
+// sink prevents the calibration loops from being optimized away.
+var sink float64
+
+// TraversalWork estimates the number of interactions per particle for a
+// Barnes-Hut traversal over n particles at MAC parameter theta. The
+// form c₀ + c₁·log₂(n)/θ² follows the classical Barnes-Hut analysis;
+// the constants are fit against executed traversals of this code on
+// homogeneous clouds (see the hot package tests).
+func TraversalWork(n int, theta float64) float64 {
+	if n <= 1 {
+		return 0
+	}
+	if theta <= 0 {
+		return float64(n - 1) // direct summation
+	}
+	log2n := 0.0
+	for m := n; m > 1; m >>= 1 {
+		log2n++
+	}
+	w := 12 + 4.2*log2n/(theta*theta)
+	if w > float64(n-1) {
+		w = float64(n - 1)
+	}
+	return w
+}

@@ -1,0 +1,128 @@
+package mpi
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// Float64sToBytes encodes a float64 slice little-endian.
+func Float64sToBytes(x []float64) []byte {
+	out := make([]byte, 8*len(x))
+	for i, v := range x {
+		binary.LittleEndian.PutUint64(out[8*i:], math.Float64bits(v))
+	}
+	return out
+}
+
+// BytesToFloat64s decodes a little-endian float64 slice; the byte
+// length must be a multiple of 8.
+func BytesToFloat64s(b []byte) []float64 {
+	if len(b)%8 != 0 {
+		panic("mpi: float64 payload length not a multiple of 8")
+	}
+	out := make([]float64, len(b)/8)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return out
+}
+
+// Int64sToBytes encodes an int64 slice little-endian.
+func Int64sToBytes(x []int64) []byte {
+	out := make([]byte, 8*len(x))
+	for i, v := range x {
+		binary.LittleEndian.PutUint64(out[8*i:], uint64(v))
+	}
+	return out
+}
+
+// BytesToInt64s decodes a little-endian int64 slice.
+func BytesToInt64s(b []byte) []int64 {
+	if len(b)%8 != 0 {
+		panic("mpi: int64 payload length not a multiple of 8")
+	}
+	out := make([]int64, len(b)/8)
+	for i := range out {
+		out[i] = int64(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return out
+}
+
+// Uint64sToBytes encodes a uint64 slice little-endian.
+func Uint64sToBytes(x []uint64) []byte {
+	out := make([]byte, 8*len(x))
+	for i, v := range x {
+		binary.LittleEndian.PutUint64(out[8*i:], v)
+	}
+	return out
+}
+
+// BytesToUint64s decodes a little-endian uint64 slice.
+func BytesToUint64s(b []byte) []uint64 {
+	if len(b)%8 != 0 {
+		panic("mpi: uint64 payload length not a multiple of 8")
+	}
+	out := make([]uint64, len(b)/8)
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint64(b[8*i:])
+	}
+	return out
+}
+
+// SendFloat64s sends a float64 slice.
+func (c *Comm) SendFloat64s(dst, tag int, x []float64) {
+	c.Send(dst, tag, Float64sToBytes(x))
+}
+
+// RecvFloat64s receives a float64 slice.
+func (c *Comm) RecvFloat64s(src, tag int) []float64 {
+	raw, _, _ := c.Recv(src, tag)
+	return BytesToFloat64s(raw)
+}
+
+// SendInt64s sends an int64 slice.
+func (c *Comm) SendInt64s(dst, tag int, x []int64) {
+	c.Send(dst, tag, Int64sToBytes(x))
+}
+
+// RecvInt64s receives an int64 slice.
+func (c *Comm) RecvInt64s(src, tag int) []int64 {
+	raw, _, _ := c.Recv(src, tag)
+	return BytesToInt64s(raw)
+}
+
+// encodeBlocks serializes a map of relative-rank → payload used by the
+// binomial gather: [count, (key, len, bytes)...] with 8-byte headers.
+func encodeBlocks(blocks map[int][]byte) []byte {
+	total := 8
+	for _, v := range blocks {
+		total += 16 + len(v)
+	}
+	out := make([]byte, 0, total)
+	var hdr [8]byte
+	binary.LittleEndian.PutUint64(hdr[:], uint64(len(blocks)))
+	out = append(out, hdr[:]...)
+	for k, v := range blocks {
+		binary.LittleEndian.PutUint64(hdr[:], uint64(k))
+		out = append(out, hdr[:]...)
+		binary.LittleEndian.PutUint64(hdr[:], uint64(len(v)))
+		out = append(out, hdr[:]...)
+		out = append(out, v...)
+	}
+	return out
+}
+
+// decodeBlocks reverses encodeBlocks.
+func decodeBlocks(raw []byte) map[int][]byte {
+	n := binary.LittleEndian.Uint64(raw)
+	raw = raw[8:]
+	out := make(map[int][]byte, n)
+	for i := uint64(0); i < n; i++ {
+		k := int(binary.LittleEndian.Uint64(raw))
+		l := int(binary.LittleEndian.Uint64(raw[8:]))
+		raw = raw[16:]
+		out[k] = raw[:l:l]
+		raw = raw[l:]
+	}
+	return out
+}

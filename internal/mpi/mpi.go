@@ -1,0 +1,684 @@
+// Package mpi is an in-process message-passing runtime that plays the
+// role of MPI in the paper's JUGENE runs: ranks are goroutines, point-
+// to-point messages are copied between per-rank mailboxes, and
+// communicators can be split to build the PT×PS space-time grid of
+// Fig. 2.
+//
+// The runtime optionally maintains a LogGP-style virtual clock per
+// rank: compute phases advance a rank's clock explicitly via Advance,
+// and every receive synchronizes the receiver's clock with
+// sendTime + latency + bytes/bandwidth. Because the collectives are
+// implemented on top of point-to-point messages with realistic
+// algorithms (dissemination barrier, binomial trees, ring allgather),
+// modeled wall-clock times emerge from the actual message pattern of
+// the executed program. This is the substitution for the 262,144-core
+// Blue Gene/P installation: same algorithm, same messages, modeled
+// time.
+package mpi
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+)
+
+// AnySource matches messages from any source rank in Recv.
+const AnySource = -1
+
+// AnyTag matches messages with any tag in Recv.
+const AnyTag = -1
+
+// ErrDeadlock is the panic value delivered to every blocked rank when
+// the runtime detects that all live ranks are blocked.
+var ErrDeadlock = errors.New("mpi: deadlock detected (all ranks blocked)")
+
+// TimeModel holds the LogGP-style parameters of the virtual clock.
+type TimeModel struct {
+	// Latency is the per-message latency in seconds.
+	Latency float64
+	// BytePeriod is the inverse bandwidth in seconds per byte.
+	BytePeriod float64
+}
+
+// BlueGeneP returns a time model with parameters in the range of the
+// IBM Blue Gene/P interconnect (≈3.5 µs MPI latency, ≈375 MB/s
+// effective per-link bandwidth).
+func BlueGeneP() TimeModel {
+	return TimeModel{Latency: 3.5e-6, BytePeriod: 1 / 375.0e6}
+}
+
+type message struct {
+	comm     uint64
+	src, tag int
+	data     []byte
+	sendVT   float64
+}
+
+type mailbox struct {
+	cond sync.Cond
+	msgs []message
+}
+
+type world struct {
+	mu     sync.Mutex
+	size   int
+	live   int
+	failed error
+	timed  bool
+	tm     TimeModel
+	vt     []float64 // virtual clock per world rank
+	boxes  []*mailbox
+	allBox func() // broadcast all conds (set in newWorld)
+
+	// Deadlock detection: every send increments epoch; a rank that
+	// scans its mailbox without a match registers in waiting with the
+	// epoch it observed. The world is deadlocked exactly when every
+	// live rank is registered at the *current* epoch — a stale epoch
+	// means a message arrived after the scan and the rank has a wakeup
+	// pending.
+	epoch   uint64
+	waiting map[int]uint64
+}
+
+func newWorld(size int, timed bool, tm TimeModel) *world {
+	w := &world{size: size, live: size, timed: timed, tm: tm,
+		waiting: make(map[int]uint64)}
+	w.vt = make([]float64, size)
+	w.boxes = make([]*mailbox, size)
+	for i := range w.boxes {
+		w.boxes[i] = &mailbox{}
+		w.boxes[i].cond.L = &w.mu
+	}
+	w.allBox = func() {
+		for _, b := range w.boxes {
+			b.cond.Broadcast()
+		}
+	}
+	return w
+}
+
+// fail marks the world failed and wakes everybody. Must hold w.mu.
+func (w *world) fail(err error) {
+	if w.failed == nil {
+		w.failed = err
+	}
+	w.allBox()
+}
+
+// deadlocked reports whether every live rank is registered as waiting
+// at the current epoch. Must hold w.mu.
+func (w *world) deadlocked() bool {
+	if w.live == 0 || len(w.waiting) < w.live {
+		return false
+	}
+	for _, e := range w.waiting {
+		if e != w.epoch {
+			return false
+		}
+	}
+	return true
+}
+
+// Comm is one rank's view of a communicator. A Comm must only be used
+// by the goroutine of its rank.
+type Comm struct {
+	w         *world
+	id        uint64 // communicator identity (same on all members)
+	rank      int    // rank within this communicator
+	ranks     []int  // world ranks of the members, indexed by comm rank
+	collSeq   int    // per-rank collective sequence number
+	splitsRun int    // per-rank split sequence number
+}
+
+// Rank returns the caller's rank within the communicator.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the number of ranks in the communicator.
+func (c *Comm) Size() int { return len(c.ranks) }
+
+// WorldRank returns the caller's rank in the world communicator.
+func (c *Comm) WorldRank() int { return c.ranks[c.rank] }
+
+// Run executes fn on size ranks of a fresh world communicator and
+// waits for all of them. It returns the combined errors of all ranks;
+// panics inside a rank are recovered and reported as errors (a rank
+// that dies may cause ErrDeadlock on ranks waiting for it).
+func Run(size int, fn func(*Comm) error) error {
+	_, err := run(size, false, TimeModel{}, fn)
+	return err
+}
+
+// RunTimed is Run with virtual clocks enabled; it additionally returns
+// the maximum virtual time over all ranks at completion — the modeled
+// parallel wall-clock time of the run.
+func RunTimed(size int, tm TimeModel, fn func(*Comm) error) (float64, error) {
+	return run(size, true, tm, fn)
+}
+
+func run(size int, timed bool, tm TimeModel, fn func(*Comm) error) (float64, error) {
+	if size < 1 {
+		return 0, fmt.Errorf("mpi: world size %d < 1", size)
+	}
+	w := newWorld(size, timed, tm)
+	ranks := make([]int, size)
+	for i := range ranks {
+		ranks[i] = i
+	}
+	errs := make([]error, size)
+	var wg sync.WaitGroup
+	for r := 0; r < size; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			defer func() {
+				w.mu.Lock()
+				w.live--
+				if w.live > 0 && w.failed == nil && w.deadlocked() {
+					w.fail(ErrDeadlock)
+				}
+				w.mu.Unlock()
+				if p := recover(); p != nil {
+					if err, ok := p.(error); ok {
+						errs[r] = fmt.Errorf("mpi: rank %d: %w", r, err)
+					} else {
+						errs[r] = fmt.Errorf("mpi: rank %d panicked: %v", r, p)
+					}
+				}
+			}()
+			errs[r] = fn(&Comm{w: w, rank: r, ranks: ranks})
+		}(r)
+	}
+	wg.Wait()
+	maxVT := 0.0
+	for _, t := range w.vt {
+		maxVT = math.Max(maxVT, t)
+	}
+	return maxVT, errors.Join(errs...)
+}
+
+// Advance adds the given modeled compute time (seconds) to the
+// caller's virtual clock. It is a no-op without a time model.
+func (c *Comm) Advance(seconds float64) {
+	if !c.w.timed {
+		return
+	}
+	c.w.mu.Lock()
+	c.w.vt[c.WorldRank()] += seconds
+	c.w.mu.Unlock()
+}
+
+// Now returns the caller's virtual clock (zero without a time model).
+func (c *Comm) Now() float64 {
+	if !c.w.timed {
+		return 0
+	}
+	c.w.mu.Lock()
+	defer c.w.mu.Unlock()
+	return c.w.vt[c.WorldRank()]
+}
+
+// Send delivers data to dst (a rank of this communicator) with the
+// given tag. The send is buffered and never blocks; data is copied.
+// User tags must be non-negative.
+func (c *Comm) Send(dst, tag int, data []byte) {
+	if tag < 0 {
+		panic(fmt.Sprintf("mpi: user tags must be >= 0, got %d", tag))
+	}
+	c.send(dst, tag, data)
+}
+
+func (c *Comm) send(dst, tag int, data []byte) {
+	if dst < 0 || dst >= len(c.ranks) {
+		panic(fmt.Sprintf("mpi: Send to invalid rank %d (size %d)", dst, len(c.ranks)))
+	}
+	buf := make([]byte, len(data))
+	copy(buf, data)
+	w := c.w
+	w.mu.Lock()
+	if w.failed != nil {
+		w.mu.Unlock()
+		panic(w.failed)
+	}
+	w.epoch++
+	box := w.boxes[c.ranks[dst]]
+	box.msgs = append(box.msgs, message{
+		comm:   c.id,
+		src:    c.encodeSrc(),
+		tag:    tag,
+		data:   buf,
+		sendVT: w.vt[c.WorldRank()],
+	})
+	box.cond.Broadcast()
+	w.mu.Unlock()
+}
+
+// encodeSrc returns the sender identity stored in messages: the world
+// rank. Receivers translate their src argument to world ranks, so
+// point-to-point matching works across communicators.
+func (c *Comm) encodeSrc() int { return c.WorldRank() }
+
+// Recv blocks until a message matching (src, tag) arrives and returns
+// its payload and actual source (as a communicator rank) and tag. Use
+// AnySource / AnyTag as wildcards. Messages from a given source with a
+// given tag are received in send order.
+func (c *Comm) Recv(src, tag int) (data []byte, actualSrc, actualTag int) {
+	if tag < 0 && tag != AnyTag {
+		panic(fmt.Sprintf("mpi: Recv tag %d invalid", tag))
+	}
+	return c.recvDetect(src, tag, true)
+}
+
+// RecvService is Recv for dedicated service loops (e.g. the tree
+// code's communication thread): the wait does not count toward
+// deadlock detection, because a service goroutine legitimately blocks
+// while its rank's workers compute. Point-to-point Send/Recv (but not
+// collectives) may be used concurrently from several goroutines of the
+// same rank.
+func (c *Comm) RecvService(src, tag int) (data []byte, actualSrc, actualTag int) {
+	if tag < 0 && tag != AnyTag {
+		panic(fmt.Sprintf("mpi: RecvService tag %d invalid", tag))
+	}
+	return c.recvDetect(src, tag, false)
+}
+
+func (c *Comm) recv(src, tag int) (data []byte, actualSrc, actualTag int) {
+	return c.recvDetect(src, tag, true)
+}
+
+func (c *Comm) recvDetect(src, tag int, detect bool) (data []byte, actualSrc, actualTag int) {
+	wantWorldSrc := AnySource
+	if src != AnySource {
+		if src < 0 || src >= len(c.ranks) {
+			panic(fmt.Sprintf("mpi: Recv from invalid rank %d (size %d)", src, len(c.ranks)))
+		}
+		wantWorldSrc = c.ranks[src]
+	}
+	w := c.w
+	me := c.WorldRank()
+	box := w.boxes[me]
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for {
+		if w.failed != nil {
+			panic(w.failed)
+		}
+		for i, m := range box.msgs {
+			if m.comm == c.id &&
+				(wantWorldSrc == AnySource || m.src == wantWorldSrc) &&
+				(tag == AnyTag || m.tag == tag) {
+				box.msgs = append(box.msgs[:i], box.msgs[i+1:]...)
+				if w.timed {
+					arrive := m.sendVT + w.tm.Latency + float64(len(m.data))*w.tm.BytePeriod
+					if arrive > w.vt[me] {
+						w.vt[me] = arrive
+					}
+				}
+				// Translate world src back to a comm rank; -1 if the
+				// sender is not a member of this communicator.
+				cr := -1
+				for r, wr := range c.ranks {
+					if wr == m.src {
+						cr = r
+						break
+					}
+				}
+				return m.data, cr, m.tag
+			}
+		}
+		if detect {
+			w.waiting[me] = w.epoch
+			if w.deadlocked() {
+				delete(w.waiting, me)
+				w.fail(ErrDeadlock)
+				panic(w.failed)
+			}
+		}
+		box.cond.Wait()
+		if detect {
+			delete(w.waiting, me)
+		}
+	}
+}
+
+// internal collective tags: negative, namespaced by a per-comm
+// sequence number so back-to-back collectives cannot cross-match.
+func (c *Comm) collTag(opcode int) int {
+	c.collSeq++
+	return -(c.collSeq*16 + opcode + 1)
+}
+
+// Barrier blocks until every rank of the communicator has entered it.
+// It uses a dissemination pattern with ⌈log2 P⌉ rounds.
+func (c *Comm) Barrier() {
+	p := c.Size()
+	if p == 1 {
+		return
+	}
+	tag := c.collTag(0)
+	for k := 1; k < p; k <<= 1 {
+		dst := (c.rank + k) % p
+		src := (c.rank - k + p) % p
+		c.send(dst, tag, nil)
+		c.recv(src, tag)
+	}
+}
+
+// Bcast broadcasts data from root to all ranks using a binomial tree
+// and returns the received slice (the root returns data unchanged).
+func (c *Comm) Bcast(root int, data []byte) []byte {
+	p := c.Size()
+	if p == 1 {
+		return data
+	}
+	tag := c.collTag(1)
+	rel := (c.rank - root + p) % p // relative rank, root = 0
+	// Receive from parent (highest set bit), then forward to children.
+	if rel != 0 {
+		mask := 1
+		for mask<<1 <= rel {
+			mask <<= 1
+		}
+		parent := (rel - mask + root) % p
+		data, _, _ = c.recv(parent, tag)
+	}
+	for mask := nextPow2(rel); rel+mask < p; mask <<= 1 {
+		child := (rel + mask + root) % p
+		c.send(child, tag, data)
+	}
+	return data
+}
+
+// nextPow2 returns the smallest power of two strictly greater than rel
+// when rel > 0, and 1 for rel == 0 (the first child distance of the
+// binomial-tree root).
+func nextPow2(rel int) int {
+	m := 1
+	for m <= rel {
+		m <<= 1
+	}
+	return m
+}
+
+// Gather collects each rank's data at root; the returned slice has one
+// entry per rank at root and is nil elsewhere. Collection follows a
+// binomial tree (log P rounds).
+func (c *Comm) Gather(root int, data []byte) [][]byte {
+	p := c.Size()
+	tag := c.collTag(2)
+	rel := (c.rank - root + p) % p
+	// Each rank owns a bucket of gathered blocks keyed by relative rank.
+	blocks := map[int][]byte{rel: data}
+	mask := 1
+	for mask < p {
+		if rel&mask != 0 {
+			// Send my accumulated blocks to the parent and stop.
+			parent := (rel - mask + root) % p
+			c.send(parent, tag, encodeBlocks(blocks))
+			blocks = nil
+			break
+		}
+		if rel+mask < p {
+			child := (rel + mask + root) % p
+			raw, _, _ := c.recv(child, tag)
+			for k, v := range decodeBlocks(raw) {
+				blocks[k] = v
+			}
+		}
+		mask <<= 1
+	}
+	if c.rank != root {
+		return nil
+	}
+	out := make([][]byte, p)
+	for relRank, v := range blocks {
+		out[(relRank+root)%p] = v
+	}
+	return out
+}
+
+// Allgather gathers every rank's block on every rank using a ring:
+// P−1 rounds, each passing the most recently received block to the
+// right neighbor. This is the algorithm (and therefore the modeled
+// cost) of the branch-node exchange in the parallel tree code.
+func (c *Comm) Allgather(data []byte) [][]byte {
+	p := c.Size()
+	out := make([][]byte, p)
+	out[c.rank] = append([]byte(nil), data...)
+	if p == 1 {
+		return out
+	}
+	tag := c.collTag(3)
+	right := (c.rank + 1) % p
+	left := (c.rank - 1 + p) % p
+	cur := c.rank
+	for round := 0; round < p-1; round++ {
+		c.send(right, tag, out[cur])
+		raw, _, _ := c.recv(left, tag)
+		cur = (cur - 1 + p) % p
+		out[cur] = raw
+	}
+	return out
+}
+
+// Alltoall delivers data[i] to rank i and returns the blocks received
+// from every rank (out[j] = block sent by rank j). data must have one
+// entry per rank.
+func (c *Comm) Alltoall(data [][]byte) [][]byte {
+	p := c.Size()
+	if len(data) != p {
+		panic(fmt.Sprintf("mpi: Alltoall needs %d blocks, got %d", p, len(data)))
+	}
+	tag := c.collTag(4)
+	out := make([][]byte, p)
+	out[c.rank] = append([]byte(nil), data[c.rank]...)
+	// Send to increasing offsets, receive from decreasing ones; the
+	// offset schedule avoids head-of-line blocking.
+	for k := 1; k < p; k++ {
+		dst := (c.rank + k) % p
+		src := (c.rank - k + p) % p
+		c.send(dst, tag, data[dst])
+		raw, _, _ := c.recv(src, tag)
+		out[src] = raw
+	}
+	return out
+}
+
+// Op is a reduction operator for Allreduce.
+type Op int
+
+// Reduction operators.
+const (
+	OpSum Op = iota
+	OpMax
+	OpMin
+)
+
+func (op Op) apply(dst, src []float64) {
+	switch op {
+	case OpSum:
+		for i := range dst {
+			dst[i] += src[i]
+		}
+	case OpMax:
+		for i := range dst {
+			dst[i] = math.Max(dst[i], src[i])
+		}
+	case OpMin:
+		for i := range dst {
+			dst[i] = math.Min(dst[i], src[i])
+		}
+	}
+}
+
+// AllreduceFloat64 reduces x elementwise over all ranks and returns
+// the result (same on every rank). Reduce-to-root follows a binomial
+// tree, then the result is broadcast.
+func (c *Comm) AllreduceFloat64(x []float64, op Op) []float64 {
+	acc := append([]float64(nil), x...)
+	p := c.Size()
+	if p == 1 {
+		return acc
+	}
+	tag := c.collTag(5)
+	rel := c.rank // root 0
+	mask := 1
+	for mask < p {
+		if rel&mask != 0 {
+			c.send(rel-mask, tag, Float64sToBytes(acc))
+			break
+		}
+		if rel+mask < p {
+			raw, _, _ := c.recv(rel+mask, tag)
+			op.apply(acc, BytesToFloat64s(raw))
+		}
+		mask <<= 1
+	}
+	res := c.Bcast(0, Float64sToBytes(acc))
+	return BytesToFloat64s(res)
+}
+
+// AllreduceInt64 is AllreduceFloat64 for int64 values (sum/max/min are
+// exact within ±2^53 via the float64 path is NOT acceptable, so a
+// dedicated integer path is used).
+func (c *Comm) AllreduceInt64(x []int64, op Op) []int64 {
+	acc := append([]int64(nil), x...)
+	p := c.Size()
+	if p == 1 {
+		return acc
+	}
+	tag := c.collTag(6)
+	rel := c.rank
+	mask := 1
+	for mask < p {
+		if rel&mask != 0 {
+			c.send(rel-mask, tag, Int64sToBytes(acc))
+			break
+		}
+		if rel+mask < p {
+			raw, _, _ := c.recv(rel+mask, tag)
+			other := BytesToInt64s(raw)
+			for i := range acc {
+				switch op {
+				case OpSum:
+					acc[i] += other[i]
+				case OpMax:
+					if other[i] > acc[i] {
+						acc[i] = other[i]
+					}
+				case OpMin:
+					if other[i] < acc[i] {
+						acc[i] = other[i]
+					}
+				}
+			}
+		}
+		mask <<= 1
+	}
+	res := c.Bcast(0, Int64sToBytes(acc))
+	return BytesToInt64s(res)
+}
+
+// Split partitions the communicator: ranks passing the same color form
+// a new communicator, ordered by (key, rank). Every rank of c must
+// call Split. This is how the PT×PS grid of Fig. 2 is built: one split
+// by time-slice color yields the spatial (PEPC) communicators, one
+// split by intra-slice index yields the temporal (PFASST)
+// communicators.
+func (c *Comm) Split(color, key int) *Comm {
+	c.splitsRun++
+	// Exchange (color, key, worldRank) via Allgather.
+	payload := Int64sToBytes([]int64{int64(color), int64(key), int64(c.WorldRank())})
+	all := c.Allgather(payload)
+	type member struct{ color, key, rank, wrank int }
+	var group []member
+	for r, raw := range all {
+		v := BytesToInt64s(raw)
+		if int(v[0]) == color {
+			group = append(group, member{int(v[0]), int(v[1]), r, int(v[2])})
+		}
+	}
+	// Sort by (key, parent rank) — insertion sort keeps this allocation-free.
+	for i := 1; i < len(group); i++ {
+		for j := i; j > 0 && (group[j].key < group[j-1].key ||
+			(group[j].key == group[j-1].key && group[j].rank < group[j-1].rank)); j-- {
+			group[j], group[j-1] = group[j-1], group[j]
+		}
+	}
+	ranks := make([]int, len(group))
+	myRank := -1
+	for i, m := range group {
+		ranks[i] = m.wrank
+		if m.wrank == c.WorldRank() {
+			myRank = i
+		}
+	}
+	return &Comm{
+		w:     c.w,
+		id:    childID(c.id, c.splitsRun, color),
+		rank:  myRank,
+		ranks: ranks,
+	}
+}
+
+// childID derives a deterministic identity for a split result: all
+// members of one color group compute the same value, and distinct
+// (parent, split number, color) triples map to distinct identities
+// with overwhelming probability (FNV-1a over the triple).
+func childID(parent uint64, splitSeq, color int) uint64 {
+	h := uint64(14695981039346656037)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= 1099511628211
+			v >>= 8
+		}
+	}
+	mix(parent)
+	mix(uint64(splitSeq))
+	mix(uint64(uint(color)))
+	return h
+}
+
+// TryRecv is the non-blocking variant of Recv: it returns ok=false
+// immediately when no matching message is queued. The parallel tree
+// code uses it to service remote-node requests while traversing.
+func (c *Comm) TryRecv(src, tag int) (data []byte, actualSrc, actualTag int, ok bool) {
+	wantWorldSrc := AnySource
+	if src != AnySource {
+		if src < 0 || src >= len(c.ranks) {
+			panic(fmt.Sprintf("mpi: TryRecv from invalid rank %d (size %d)", src, len(c.ranks)))
+		}
+		wantWorldSrc = c.ranks[src]
+	}
+	w := c.w
+	me := c.WorldRank()
+	box := w.boxes[me]
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.failed != nil {
+		panic(w.failed)
+	}
+	for i, m := range box.msgs {
+		if m.comm == c.id &&
+			(wantWorldSrc == AnySource || m.src == wantWorldSrc) &&
+			(tag == AnyTag || m.tag == tag) {
+			box.msgs = append(box.msgs[:i], box.msgs[i+1:]...)
+			if w.timed {
+				arrive := m.sendVT + w.tm.Latency + float64(len(m.data))*w.tm.BytePeriod
+				if arrive > w.vt[me] {
+					w.vt[me] = arrive
+				}
+			}
+			cr := -1
+			for r, wr := range c.ranks {
+				if wr == m.src {
+					cr = r
+					break
+				}
+			}
+			return m.data, cr, m.tag, true
+		}
+	}
+	return nil, 0, 0, false
+}

@@ -1,0 +1,93 @@
+// Package neighbor provides fixed-radius neighbor search over particle
+// systems via cell lists (uniform hashing of Morton-style grid cells).
+// It is the short-range counterpart to the tree code's long-range
+// machinery and the substrate of the SPH discipline: PEPC's
+// smooth-particle-hydrodynamics applications (stellar disc dynamics)
+// need the particles within the kernel support radius.
+package neighbor
+
+import (
+	"math"
+
+	"repro/internal/particle"
+	"repro/internal/vec"
+)
+
+// Grid is a cell-list index over a particle snapshot for a fixed
+// search radius.
+type Grid struct {
+	radius float64
+	inv    float64
+	cells  map[cellKey][]int32
+	sys    *particle.System
+}
+
+type cellKey struct{ i, j, k int32 }
+
+// Build indexes the system for queries with the given radius (> 0).
+func Build(sys *particle.System, radius float64) *Grid {
+	if radius <= 0 {
+		panic("neighbor: radius must be positive")
+	}
+	g := &Grid{
+		radius: radius,
+		inv:    1 / radius,
+		cells:  make(map[cellKey][]int32, sys.N()),
+		sys:    sys,
+	}
+	for i, p := range sys.Particles {
+		k := g.keyOf(p.Pos)
+		g.cells[k] = append(g.cells[k], int32(i))
+	}
+	return g
+}
+
+func (g *Grid) keyOf(x vec.Vec3) cellKey {
+	return cellKey{
+		int32(math.Floor(x.X * g.inv)),
+		int32(math.Floor(x.Y * g.inv)),
+		int32(math.Floor(x.Z * g.inv)),
+	}
+}
+
+// Radius returns the search radius the grid was built for.
+func (g *Grid) Radius() float64 { return g.radius }
+
+// ForEachNeighbor calls fn(j, r, dist) for every particle j ≠ i within
+// the radius of particle i, where r = x_i − x_j.
+func (g *Grid) ForEachNeighbor(i int, fn func(j int, r vec.Vec3, dist float64)) {
+	x := g.sys.Particles[i].Pos
+	g.ForEachWithin(x, func(j int, r vec.Vec3, dist float64) {
+		if j != i {
+			fn(j, r, dist)
+		}
+	})
+}
+
+// ForEachWithin calls fn(j, r, dist) for every particle within the
+// radius of an arbitrary point x (including a particle at exactly x).
+func (g *Grid) ForEachWithin(x vec.Vec3, fn func(j int, r vec.Vec3, dist float64)) {
+	c := g.keyOf(x)
+	r2max := g.radius * g.radius
+	for di := int32(-1); di <= 1; di++ {
+		for dj := int32(-1); dj <= 1; dj++ {
+			for dk := int32(-1); dk <= 1; dk++ {
+				bucket := g.cells[cellKey{c.i + di, c.j + dj, c.k + dk}]
+				for _, j := range bucket {
+					r := x.Sub(g.sys.Particles[j].Pos)
+					d2 := r.Norm2()
+					if d2 <= r2max {
+						fn(int(j), r, math.Sqrt(d2))
+					}
+				}
+			}
+		}
+	}
+}
+
+// Count returns the number of neighbors of particle i (excluding i).
+func (g *Grid) Count(i int) int {
+	n := 0
+	g.ForEachNeighbor(i, func(int, vec.Vec3, float64) { n++ })
+	return n
+}

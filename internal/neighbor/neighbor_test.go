@@ -1,0 +1,90 @@
+package neighbor
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/particle"
+	"repro/internal/vec"
+)
+
+func TestMatchesBruteForce(t *testing.T) {
+	sys := particle.RandomVortexBlob(300, 0.2, 61)
+	const radius = 0.4
+	g := Build(sys, radius)
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 30; trial++ {
+		i := rng.Intn(sys.N())
+		var got []int
+		g.ForEachNeighbor(i, func(j int, r vec.Vec3, d float64) {
+			got = append(got, j)
+			if d > radius {
+				t.Fatalf("neighbor %d at distance %g > radius", j, d)
+			}
+			want := sys.Particles[i].Pos.Sub(sys.Particles[j].Pos)
+			if r != want {
+				t.Fatalf("separation vector wrong")
+			}
+		})
+		var want []int
+		for j := range sys.Particles {
+			if j == i {
+				continue
+			}
+			if sys.Particles[i].Pos.Sub(sys.Particles[j].Pos).Norm() <= radius {
+				want = append(want, j)
+			}
+		}
+		sort.Ints(got)
+		sort.Ints(want)
+		if len(got) != len(want) {
+			t.Fatalf("particle %d: %d neighbors, want %d", i, len(got), len(want))
+		}
+		for k := range got {
+			if got[k] != want[k] {
+				t.Fatalf("particle %d: neighbor sets differ", i)
+			}
+		}
+	}
+}
+
+func TestForEachWithinIncludesExactPoint(t *testing.T) {
+	sys := &particle.System{Particles: []particle.Particle{
+		{Pos: vec.V3(0, 0, 0)}, {Pos: vec.V3(1, 0, 0)},
+	}}
+	g := Build(sys, 0.5)
+	n := 0
+	g.ForEachWithin(vec.V3(0, 0, 0), func(j int, r vec.Vec3, d float64) { n++ })
+	if n != 1 {
+		t.Fatalf("found %d, want the particle at the query point", n)
+	}
+}
+
+func TestCount(t *testing.T) {
+	sys := &particle.System{Particles: []particle.Particle{
+		{Pos: vec.V3(0, 0, 0)},
+		{Pos: vec.V3(0.1, 0, 0)},
+		{Pos: vec.V3(0, 0.1, 0)},
+		{Pos: vec.V3(5, 5, 5)},
+	}}
+	g := Build(sys, 0.3)
+	if got := g.Count(0); got != 2 {
+		t.Fatalf("Count(0) = %d", got)
+	}
+	if got := g.Count(3); got != 0 {
+		t.Fatalf("Count(3) = %d", got)
+	}
+	if g.Radius() != 0.3 {
+		t.Fatal("radius accessor")
+	}
+}
+
+func TestBuildPanicsOnBadRadius(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Build(&particle.System{}, 0)
+}

@@ -1,0 +1,61 @@
+package ode
+
+import "math"
+
+// The test problems below have closed-form solutions and are used by
+// the integrator packages to verify convergence orders.
+
+// Dahlquist returns the scalar test equation u' = λu with u(0) = 1 and
+// its exact solution.
+func Dahlquist(lambda float64) (System, func(t float64) []float64) {
+	sys := FuncSystem{N: 1, Fn: func(t float64, u, f []float64) {
+		f[0] = lambda * u[0]
+	}}
+	exact := func(t float64) []float64 { return []float64{math.Exp(lambda * t)} }
+	return sys, exact
+}
+
+// Oscillator returns the harmonic oscillator u” = −ω²u written as a
+// first-order system (u, u'), with u(0)=1, u'(0)=0.
+func Oscillator(omega float64) (System, func(t float64) []float64) {
+	sys := FuncSystem{N: 2, Fn: func(t float64, u, f []float64) {
+		f[0] = u[1]
+		f[1] = -omega * omega * u[0]
+	}}
+	exact := func(t float64) []float64 {
+		return []float64{math.Cos(omega * t), -omega * math.Sin(omega*t)}
+	}
+	return sys, exact
+}
+
+// Logistic returns the nonlinear logistic equation u' = u(1−u) with
+// u(0) = u0 ∈ (0,1).
+func Logistic(u0 float64) (System, func(t float64) []float64) {
+	sys := FuncSystem{N: 1, Fn: func(t float64, u, f []float64) {
+		f[0] = u[0] * (1 - u[0])
+	}}
+	exact := func(t float64) []float64 {
+		e := math.Exp(t)
+		return []float64{u0 * e / (1 - u0 + u0*e)}
+	}
+	return sys, exact
+}
+
+// Kepler2D returns the planar Kepler problem (position, velocity) with
+// a circular orbit of radius 1 and period 2π as initial condition. No
+// closed form is returned beyond the circular solution.
+func Kepler2D() (System, func(t float64) []float64) {
+	sys := FuncSystem{N: 4, Fn: func(t float64, u, f []float64) {
+		x, y := u[0], u[1]
+		r2 := x*x + y*y
+		r3 := r2 * math.Sqrt(r2)
+		f[0] = u[2]
+		f[1] = u[3]
+		f[2] = -x / r3
+		f[3] = -y / r3
+	}}
+	exact := func(t float64) []float64 {
+		return []float64{math.Cos(t), math.Sin(t), -math.Sin(t), math.Cos(t)}
+	}
+	return sys, exact
+}

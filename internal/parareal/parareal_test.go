@@ -1,0 +1,153 @@
+package parareal
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/mpi"
+	"repro/internal/ode"
+	"repro/internal/rk"
+)
+
+// propagators builds coarse (Euler, few steps) and fine (RK4, many
+// steps) propagators for a system.
+func propagators(sys ode.System) (Propagator, Propagator) {
+	coarse := func(t0, t1 float64, u []float64) {
+		rk.NewStepper(rk.Euler(), sys).Integrate(t0, t1, 5, u)
+	}
+	fine := func(t0, t1 float64, u []float64) {
+		rk.NewStepper(rk.Classic4(), sys).Integrate(t0, t1, 50, u)
+	}
+	return coarse, fine
+}
+
+// serialFine integrates the full interval with the fine propagator.
+func serialFine(sys ode.System, fine Propagator, t0, t1 float64, u0 []float64, p int) []float64 {
+	u := append([]float64(nil), u0...)
+	slice := (t1 - t0) / float64(p)
+	for n := 0; n < p; n++ {
+		fine(t0+float64(n)*slice, t0+float64(n+1)*slice, u)
+	}
+	return u
+}
+
+func TestParareaConvergesToFineSolution(t *testing.T) {
+	sys, exact := ode.Oscillator(1)
+	coarse, fine := propagators(sys)
+	const p = 8
+	want := serialFine(sys, fine, 0, 4, exact(0), p)
+	err := mpi.Run(p, func(c *mpi.Comm) error {
+		res, err := Run(c, coarse, fine, 0, 4, exact(0), p) // K = P iterations: exact
+		if err != nil {
+			return err
+		}
+		if d := ode.MaxDiff(res.Final, want); d > 1e-11 {
+			t.Errorf("rank %d: parareal with K=P differs from serial fine by %g", c.Rank(), d)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParareaFewIterationsAccurate(t *testing.T) {
+	sys, exact := ode.Oscillator(1)
+	coarse, fine := propagators(sys)
+	const p = 8
+	want := serialFine(sys, fine, 0, 4, exact(0), p)
+	var errK2, errK4 float64
+	err := mpi.Run(p, func(c *mpi.Comm) error {
+		r2, err := Run(c, coarse, fine, 0, 4, exact(0), 2)
+		if err != nil {
+			return err
+		}
+		r4, err := Run(c, coarse, fine, 0, 4, exact(0), 4)
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			errK2 = ode.MaxDiff(r2.Final, want)
+			errK4 = ode.MaxDiff(r4.Final, want)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if errK4 >= errK2 {
+		t.Fatalf("more iterations should improve: K=2 err %g, K=4 err %g", errK2, errK4)
+	}
+	if errK4 > 1e-4 {
+		t.Fatalf("K=4 error %g too large", errK4)
+	}
+}
+
+func TestCorrectionsDecrease(t *testing.T) {
+	sys, exact := ode.Logistic(0.1)
+	_ = exact
+	coarse, fine := propagators(sys)
+	err := mpi.Run(4, func(c *mpi.Comm) error {
+		res, err := Run(c, coarse, fine, 0, 2, []float64{0.1}, 4)
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 3 {
+			// On the last slice the corrections must decay.
+			first, last := res.Corrections[1], res.Corrections[len(res.Corrections)-1]
+			if last > first {
+				t.Errorf("corrections grew: %v", res.Corrections)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSingleRankMatchesFinePlusCorrection(t *testing.T) {
+	// With one rank, parareal is G + F − G = F after one iteration.
+	sys, exact := ode.Dahlquist(-1)
+	coarse, fine := propagators(sys)
+	err := mpi.Run(1, func(c *mpi.Comm) error {
+		res, err := Run(c, coarse, fine, 0, 1, exact(0), 1)
+		if err != nil {
+			return err
+		}
+		want := append([]float64(nil), exact(0)...)
+		fine(0, 1, want)
+		if d := ode.MaxDiff(res.Final, want); d > 1e-13 {
+			t.Errorf("single-rank parareal differs from fine by %g", d)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsBadIterations(t *testing.T) {
+	err := mpi.Run(2, func(c *mpi.Comm) error {
+		_, err := Run(c, nil, nil, 0, 1, []float64{1}, 0)
+		if err == nil {
+			t.Error("expected error for 0 iterations")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEfficiencyBound(t *testing.T) {
+	if EfficiencyBound(4) != 0.25 {
+		t.Fatal("1/K bound wrong")
+	}
+	if EfficiencyBound(0) != 1 {
+		t.Fatal("degenerate bound wrong")
+	}
+	if math.Abs(EfficiencyBound(3)-1.0/3) > 1e-15 {
+		t.Fatal("1/3 bound wrong")
+	}
+}

@@ -1,0 +1,442 @@
+// Package pfasst implements the Parallel Full Approximation Scheme in
+// Space and Time (Emmett & Minion) as described in Section III-B of
+// the paper: parareal-style time decomposition whose propagators are
+// SDC sweeps on a hierarchy of collocation levels, coupled by FAS
+// corrections, with pipelined communication along the time ranks
+// (Algorithm 1 / Fig. 6).
+//
+// Spatial coarsening is expressed through the level systems: for the
+// particle method, all levels share the state layout (identity space
+// transfer) and differ in the accuracy of the right-hand-side
+// evaluation — the fine level uses a small MAC parameter θ, the coarse
+// level a large one (Section IV-B).
+package pfasst
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/mpi"
+	"repro/internal/ode"
+	"repro/internal/quadrature"
+	"repro/internal/sdc"
+)
+
+// LevelSpec describes one level of the space-time hierarchy; index 0
+// is the finest.
+type LevelSpec struct {
+	// Sys evaluates the right-hand side at this level's spatial
+	// accuracy.
+	Sys ode.System
+	// NNodes is the number of Gauss–Lobatto collocation nodes; coarser
+	// levels must use node subsets of their finer neighbor (e.g. 3 and
+	// 2).
+	NNodes int
+	// RestrictSpace and InterpSpace transfer states between this level
+	// and the next coarser one; nil means identity (copy). They are
+	// set on the finer level of each pair.
+	RestrictSpace func(fine, coarse []float64)
+	InterpSpace   func(coarse, fine []float64)
+}
+
+// Config parameterizes a PFASST run. The paper's PFASST(X, Y, PT) is
+// Config{Iterations: X, CoarseSweeps: Y} on PT time ranks.
+type Config struct {
+	Levels []LevelSpec
+	// Iterations is the number of PFASST iterations per block.
+	Iterations int
+	// FineSweeps is the number of SDC sweeps per iteration on every
+	// level except the coarsest (paper: 1).
+	FineSweeps int
+	// CoarseSweeps is the number of SDC sweeps per iteration at the
+	// coarsest level (paper: 2).
+	CoarseSweeps int
+	// Tol, when positive, stops iterating early once the maximum
+	// slice-end update over all time ranks falls below it. Checking the
+	// criterion requires an allreduce per iteration, which serializes
+	// the otherwise pipelined schedule — adaptivity trades away some
+	// overlap, exactly as in production PFASST controllers.
+	Tol float64
+}
+
+// Result reports one rank's view of a PFASST solve.
+type Result struct {
+	// U is the solution at the end of the full time interval
+	// (identical on every rank).
+	U []float64
+	// Residuals holds, per block, the finest-level collocation
+	// residual of this rank's slice after the final iteration.
+	Residuals []float64
+	// IterDiffs holds, per block, the max-norm difference of this
+	// rank's slice-end value between the last two iterations — the
+	// paper's residual measure in Section IV-B.
+	IterDiffs []float64
+	// SweepsFine / SweepsCoarse count SDC sweeps executed by this rank.
+	SweepsFine, SweepsCoarse int
+	// IterationsRun holds the number of PFASST iterations actually
+	// performed per block (smaller than Config.Iterations only when
+	// Tol triggered early termination).
+	IterationsRun []int
+}
+
+type level struct {
+	spec    LevelSpec
+	sw      *sdc.Sweeper
+	dim     int
+	nnodes  int
+	coarser *level
+
+	// transfer data to the next coarser level
+	subset  []int       // coarse node index -> fine node index
+	interpT [][]float64 // time interpolation matrix (fine rows × coarse cols)
+	uR      [][]float64 // stored restriction of this level's U at coarse nodes
+	sfFine  [][]float64 // scratch: this level's node-to-node integrals
+	sfC     [][]float64 // scratch: coarser level's integrals
+}
+
+const (
+	tagBase = 800000
+)
+
+func tagFor(lvl, iter int, predictor bool) int {
+	k := iter*64 + lvl*2
+	if predictor {
+		k++
+	}
+	return tagBase + k
+}
+
+// Run solves u' = f(t,u) from t0 to t1 in nsteps uniform steps,
+// distributing blocks of comm.Size() consecutive steps over the time
+// ranks. nsteps must be a multiple of comm.Size(). All ranks must pass
+// identical arguments; the returned Result.U is the same on every rank.
+func Run(comm *mpi.Comm, cfg Config, t0, t1 float64, nsteps int, u0 []float64) (Result, error) {
+	if len(cfg.Levels) < 2 {
+		return Result{}, fmt.Errorf("pfasst: need at least 2 levels, got %d", len(cfg.Levels))
+	}
+	if cfg.Iterations < 1 {
+		return Result{}, fmt.Errorf("pfasst: iterations %d < 1", cfg.Iterations)
+	}
+	if cfg.FineSweeps < 1 {
+		cfg.FineSweeps = 1
+	}
+	if cfg.CoarseSweeps < 1 {
+		cfg.CoarseSweeps = 1
+	}
+	p := comm.Size()
+	if nsteps%p != 0 {
+		return Result{}, fmt.Errorf("pfasst: nsteps %d not a multiple of ranks %d", nsteps, p)
+	}
+	levels, err := buildLevels(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+
+	dt := (t1 - t0) / float64(nsteps)
+	blocks := nsteps / p
+	rank := comm.Rank()
+	u := append([]float64(nil), u0...)
+	res := Result{}
+
+	for b := 0; b < blocks; b++ {
+		tn := t0 + (float64(b*p)+float64(rank))*dt
+		blockRes := runBlock(comm, cfg, levels, tn, dt, u, b, &res)
+		// The last rank's slice-end value starts the next block.
+		u = mpi.BytesToFloat64s(comm.Bcast(p-1, mpi.Float64sToBytes(blockRes)))
+	}
+	res.U = u
+	return res, nil
+}
+
+func buildLevels(cfg Config) ([]*level, error) {
+	n := len(cfg.Levels)
+	levels := make([]*level, n)
+	for i := n - 1; i >= 0; i-- {
+		spec := cfg.Levels[i]
+		if spec.NNodes < 2 {
+			return nil, fmt.Errorf("pfasst: level %d has %d nodes", i, spec.NNodes)
+		}
+		l := &level{
+			spec:   spec,
+			sw:     sdc.NewSweeper(spec.Sys, spec.NNodes),
+			dim:    spec.Sys.Dim(),
+			nnodes: spec.NNodes,
+		}
+		if i < n-1 {
+			l.coarser = levels[i+1]
+			c := l.coarser
+			subset, err := quadrature.SubsetIndices(l.sw.Nodes(), c.sw.Nodes())
+			if err != nil {
+				return nil, fmt.Errorf("pfasst: levels %d/%d: %w", i, i+1, err)
+			}
+			l.subset = subset
+			l.interpT = quadrature.InterpMatrix(c.sw.Nodes(), l.sw.Nodes())
+			l.uR = alloc(c.nnodes, c.dim)
+			l.sfFine = alloc(l.nnodes-1, l.dim)
+			l.sfC = alloc(c.nnodes-1, c.dim)
+		}
+		levels[i] = l
+	}
+	return levels, nil
+}
+
+func alloc(rows, dim int) [][]float64 {
+	a := make([][]float64, rows)
+	for i := range a {
+		a[i] = make([]float64, dim)
+	}
+	return a
+}
+
+// restrictSpace applies the level's spatial restriction (identity by
+// default).
+func (l *level) restrictSpace(fine, coarse []float64) {
+	if l.spec.RestrictSpace != nil {
+		l.spec.RestrictSpace(fine, coarse)
+		return
+	}
+	copy(coarse, fine)
+}
+
+func (l *level) interpSpace(coarse, fine []float64) {
+	if l.spec.InterpSpace != nil {
+		l.spec.InterpSpace(coarse, fine)
+		return
+	}
+	copy(fine, coarse)
+}
+
+// restrictAndFAS restricts this level's node values to the coarser
+// level, re-evaluates the coarse right-hand sides, and computes the
+// coarse FAS corrections (Eq. 16/17): for every coarse interval m,
+//
+//	τ_c[m] = Σ_{fine intervals in m} R(Δt (S F)_f + τ_f)  −  Δt (S F)_c.
+func (l *level) restrictAndFAS() {
+	c := l.coarser
+	// Pointwise restriction at the shared nodes.
+	for mc, mf := range l.subset {
+		l.restrictSpace(l.sw.U[mf], l.uR[mc])
+		ode.Copy(c.sw.U[mc], l.uR[mc])
+	}
+	c.sw.EvalAll()
+	// Integral terms.
+	l.sw.IntegrateSF(l.sfFine)
+	c.sw.IntegrateSF(l.sfC)
+	scratch := make([]float64, c.dim)
+	for mc := 0; mc < c.nnodes-1; mc++ {
+		tau := c.sw.Tau[mc]
+		ode.Zero(tau)
+		for mf := l.subset[mc]; mf < l.subset[mc+1]; mf++ {
+			// R( Δt (S F)_f + τ_f ) summed over the fine intervals.
+			contrib := append([]float64(nil), l.sfFine[mf]...)
+			ode.AXPY(1, l.sw.Tau[mf], contrib)
+			l.restrictSpace(contrib, scratch)
+			ode.AXPY(1, scratch, tau)
+		}
+		ode.AXPY(-1, l.sfC[mc], tau)
+	}
+}
+
+// interpolateCorrection adds the coarse-grid correction to this
+// level's node values: U_f[mf] += I_space( Σ_mc interpT[mf][mc] · (U_c[mc] − uR[mc]) ).
+func (l *level) interpolateCorrection() {
+	c := l.coarser
+	deltaC := alloc(c.nnodes, c.dim)
+	for mc := 0; mc < c.nnodes; mc++ {
+		ode.Copy(deltaC[mc], c.sw.U[mc])
+		ode.AXPY(-1, l.uR[mc], deltaC[mc])
+	}
+	coarseMix := make([]float64, c.dim)
+	fineDelta := make([]float64, l.dim)
+	for mf := 0; mf < l.nnodes; mf++ {
+		ode.Zero(coarseMix)
+		for mc := 0; mc < c.nnodes; mc++ {
+			ode.AXPY(l.interpT[mf][mc], deltaC[mc], coarseMix)
+		}
+		l.interpSpace(coarseMix, fineDelta)
+		ode.AXPY(1, fineDelta, l.sw.U[mf])
+	}
+	l.sw.EvalAll()
+}
+
+// runBlock performs the predictor and cfg.Iterations PFASST V-cycles
+// for one block of p consecutive time steps, and returns this rank's
+// fine slice-end value.
+// trailingSweep finalizes every block with one extra sweep at the
+// finest level so the reported solution incorporates the last coarse
+// correction (the "finalize" stage of standard PFASST controllers).
+const trailingSweep = true
+
+func runBlock(comm *mpi.Comm, cfg Config, levels []*level, tn, dt float64, u0 []float64, block int, res *Result) []float64 {
+	p := comm.Size()
+	rank := comm.Rank()
+	nl := len(levels)
+	fine := levels[0]
+	coarse := levels[nl-1]
+
+	// Setup all levels for this rank's step.
+	for _, l := range levels {
+		l.sw.Setup(tn, dt)
+	}
+
+	// --- Predictor (Fig. 6 initialization): restrict u0 to the
+	// coarsest level, spread, then rank n performs n+1 pipelined
+	// coarse sweeps, passing slice-end values to the right.
+	cu := make([]float64, coarse.dim)
+	restrictFull(levels, u0, cu)
+	coarse.sw.SetU0(cu)
+	coarse.sw.Spread()
+	for j := 0; j <= rank; j++ {
+		if j > 0 {
+			in := comm.RecvFloat64s(rank-1, tagFor(nl-1, j, true))
+			coarse.sw.SetU0Lazy(in)
+		}
+		coarse.sw.Sweep()
+		res.SweepsCoarse++
+		if rank < p-1 {
+			comm.SendFloat64s(rank+1, tagFor(nl-1, j+1, true), coarse.sw.UEnd())
+		}
+	}
+	// Interpolate the coarse prediction up through the hierarchy.
+	for i := nl - 2; i >= 0; i-- {
+		l := levels[i]
+		c := l.coarser
+		// Full-state interpolation: treat the prediction as correction
+		// against a zero restriction.
+		for mc := range l.uR {
+			ode.Zero(l.uR[mc])
+		}
+		for mf := 0; mf < l.nnodes; mf++ {
+			ode.Zero(l.sw.U[mf])
+		}
+		l.interpolateCorrection()
+		_ = c
+	}
+	// The finest initial value is exact for rank 0 and will otherwise
+	// be overwritten by the pipeline below.
+	if rank == 0 {
+		fine.sw.SetU0(u0)
+	}
+
+	prevEnd := append([]float64(nil), fine.sw.UEnd()...)
+	var lastDiff float64
+	itersRun := 0
+
+	// --- PFASST iterations (Algorithm 1).
+	for k := 0; k < cfg.Iterations; k++ {
+		// Go down the V-cycle.
+		for i := 0; i < nl-1; i++ {
+			l := levels[i]
+			sweeps := cfg.FineSweeps
+			for s := 0; s < sweeps; s++ {
+				l.sw.Sweep()
+			}
+			if i == 0 {
+				res.SweepsFine += sweeps
+			}
+			if rank < p-1 {
+				comm.SendFloat64s(rank+1, tagFor(i, k, false), l.sw.UEnd())
+			}
+			l.restrictAndFAS()
+		}
+		// Coarsest level: each sweep receives a fresh initial value
+		// from the left and forwards its slice-end value, so coarse
+		// information travels one slice per sweep (Fig. 6 shows one
+		// receive/send pair per coarse sweep block).
+		for s := 0; s < cfg.CoarseSweeps; s++ {
+			if rank > 0 {
+				in := comm.RecvFloat64s(rank-1, tagFor(nl-1, k*8+s, false))
+				coarse.sw.SetU0Lazy(in)
+			}
+			coarse.sw.Sweep()
+			res.SweepsCoarse++
+			if rank < p-1 {
+				comm.SendFloat64s(rank+1, tagFor(nl-1, k*8+s, false), coarse.sw.UEnd())
+			}
+		}
+		// Return up the V-cycle. Per Algorithm 1, each level first
+		// receives its new initial value from the left and then applies
+		// the interpolated coarse correction — including at node 0,
+		// where the correction is taken relative to the freshly
+		// received value, so the faster coarse information channel
+		// improves the fine initial condition.
+		for i := nl - 2; i >= 0; i-- {
+			l := levels[i]
+			if rank > 0 {
+				in := comm.RecvFloat64s(rank-1, tagFor(i, k, false))
+				l.sw.SetU0(in)
+				l.restrictSpace(l.sw.U[0], l.uR[0])
+			}
+			l.interpolateCorrection()
+			if i > 0 {
+				// Intermediate levels sweep on the way up
+				// (Algorithm 1); the finest level sweeps at the start
+				// of the next iteration.
+				l.sw.Sweep()
+			}
+		}
+		lastDiff = ode.MaxDiff(fine.sw.UEnd(), prevEnd)
+		ode.Copy(prevEnd, fine.sw.UEnd())
+		itersRun = k + 1
+		if cfg.Tol > 0 {
+			global := comm.AllreduceFloat64([]float64{lastDiff}, mpi.OpMax)
+			if global[0] < cfg.Tol {
+				break
+			}
+		}
+	}
+
+	if trailingSweep {
+		fine.sw.Sweep()
+		res.SweepsFine++
+	}
+	res.Residuals = append(res.Residuals, fine.sw.Residual())
+	res.IterDiffs = append(res.IterDiffs, lastDiff)
+	res.IterationsRun = append(res.IterationsRun, itersRun)
+	return append([]float64(nil), fine.sw.UEnd()...)
+}
+
+// restrictFull restricts a finest-level state down the whole hierarchy.
+func restrictFull(levels []*level, uFine, uCoarse []float64) {
+	cur := append([]float64(nil), uFine...)
+	for i := 0; i < len(levels)-1; i++ {
+		next := make([]float64, levels[i+1].dim)
+		levels[i].restrictSpace(cur, next)
+		cur = next
+	}
+	copy(uCoarse, cur)
+}
+
+// TheorySpeedup evaluates Eq. (23) of the paper: the speedup of PFASST
+// with PT time ranks against serial SDC with Ks sweeps per step, given
+// Kp PFASST iterations, per-level sweep counts n[l], per-level sweep
+// costs upsilon[l] and FAS overheads gamma[l], both normalized by the
+// finest sweep cost (upsilon[0] = 1).
+func TheorySpeedup(pt int, ks, kp int, n, upsilon, gamma []float64) float64 {
+	L := len(n) - 1
+	denom := float64(pt) * n[L] * upsilon[L]
+	for l := 0; l <= L; l++ {
+		denom += float64(kp) * (n[l]*upsilon[l] + n[l]*gamma[l])
+	}
+	return float64(pt) * float64(ks) / denom
+}
+
+// TwoLevelSpeedup evaluates Eq. (24): S(PT; α) for a two-level run
+// with coarse/fine cost ratio α, nL coarse sweeps per iteration and
+// relative per-iteration overhead β.
+func TwoLevelSpeedup(pt int, ks, kp int, nL, alpha, beta float64) float64 {
+	return float64(pt) * float64(ks) /
+		(float64(pt)*nL*alpha + float64(kp)*(1+nL*alpha+beta))
+}
+
+// MaxSpeedup is the bound of Eq. (25): S ≤ (Ks/Kp)·PT, independent of
+// α; the corresponding maximum parallel efficiency is Ks/Kp (compare
+// parareal's 1/K).
+func MaxSpeedup(pt int, ks, kp int) float64 {
+	return float64(ks) / float64(kp) * float64(pt)
+}
+
+// EfficiencyBound returns Ks/Kp, PFASST's parallel-efficiency bound.
+func EfficiencyBound(ks, kp int) float64 {
+	return math.Min(1, float64(ks)/float64(kp))
+}

@@ -1,0 +1,8 @@
+package remesh
+
+import "repro/internal/kernel"
+
+// pairwise builds the standard pairwise kernel used by the field test.
+func pairwise(sigma float64) kernel.Pairwise {
+	return kernel.Pairwise{Sm: kernel.Algebraic6(), Sigma: sigma}
+}

@@ -1,0 +1,126 @@
+package rk
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/ode"
+)
+
+// convergenceRate integrates the oscillator at two resolutions and
+// returns the observed order.
+func convergenceRate(t *testing.T, scheme Scheme) float64 {
+	t.Helper()
+	sys, exact := ode.Oscillator(1)
+	errAt := func(nsteps int) float64 {
+		u := append([]float64(nil), exact(0)...)
+		NewStepper(scheme, sys).Integrate(0, 2, nsteps, u)
+		return ode.MaxDiff(u, exact(2))
+	}
+	e1, e2 := errAt(40), errAt(80)
+	return math.Log2(e1 / e2)
+}
+
+func TestConvergenceOrders(t *testing.T) {
+	for _, scheme := range []Scheme{Euler(), Midpoint(), Kutta3(), Classic4()} {
+		rate := convergenceRate(t, scheme)
+		if math.Abs(rate-float64(scheme.Order)) > 0.35 {
+			t.Errorf("%s: observed order %.2f, want %d", scheme.Name, rate, scheme.Order)
+		}
+	}
+}
+
+func TestEulerExactForConstantRHS(t *testing.T) {
+	sys := ode.FuncSystem{N: 1, Fn: func(tt float64, u, f []float64) { f[0] = 2 }}
+	u := []float64{1}
+	NewStepper(Euler(), sys).Integrate(0, 3, 7, u)
+	if math.Abs(u[0]-7) > 1e-13 {
+		t.Fatalf("u = %v, want 7", u[0])
+	}
+}
+
+func TestRK4ExactForCubicRHS(t *testing.T) {
+	// u' = 4t³ ⇒ u = t⁴; RK4 integrates cubics in t exactly.
+	sys := ode.FuncSystem{N: 1, Fn: func(tt float64, u, f []float64) { f[0] = 4 * tt * tt * tt }}
+	u := []float64{0}
+	NewStepper(Classic4(), sys).Integrate(0, 2, 2, u)
+	if math.Abs(u[0]-16) > 1e-12 {
+		t.Fatalf("u = %v, want 16", u[0])
+	}
+}
+
+func TestRK2NotExactForCubic(t *testing.T) {
+	sys := ode.FuncSystem{N: 1, Fn: func(tt float64, u, f []float64) { f[0] = 4 * tt * tt * tt }}
+	u := []float64{0}
+	NewStepper(Midpoint(), sys).Integrate(0, 2, 2, u)
+	if math.Abs(u[0]-16) < 1e-6 {
+		t.Fatal("midpoint rule should not integrate cubics exactly")
+	}
+}
+
+func TestByOrder(t *testing.T) {
+	for order := 1; order <= 4; order++ {
+		s, err := ByOrder(order)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Order != order {
+			t.Fatalf("ByOrder(%d).Order = %d", order, s.Order)
+		}
+	}
+	if _, err := ByOrder(5); err == nil {
+		t.Fatal("expected error for order 5")
+	}
+}
+
+func TestButcherConsistency(t *testing.T) {
+	// Σ b_i = 1 and c_i = Σ_j a_ij for every scheme.
+	for _, s := range []Scheme{Euler(), Midpoint(), Kutta3(), Classic4()} {
+		sum := 0.0
+		for _, b := range s.B {
+			sum += b
+		}
+		if math.Abs(sum-1) > 1e-14 {
+			t.Errorf("%s: Σb = %v", s.Name, sum)
+		}
+		for i := range s.C {
+			row := 0.0
+			for j := 0; j < i; j++ {
+				row += s.A[i][j]
+			}
+			if math.Abs(row-s.C[i]) > 1e-14 {
+				t.Errorf("%s: row %d: Σa = %v, c = %v", s.Name, i, row, s.C[i])
+			}
+		}
+	}
+}
+
+func TestIntegratePanicsOnZeroSteps(t *testing.T) {
+	sys, _ := ode.Dahlquist(-1)
+	st := NewStepper(Euler(), sys)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	st.Integrate(0, 1, 0, []float64{1})
+}
+
+func TestKeplerCircularOrbitPreserved(t *testing.T) {
+	sys, exact := ode.Kepler2D()
+	u := append([]float64(nil), exact(0)...)
+	NewStepper(Classic4(), sys).Integrate(0, 2*math.Pi, 200, u)
+	if ode.MaxDiff(u, exact(2*math.Pi)) > 1e-4 {
+		t.Fatalf("after one period: %v vs %v", u, exact(2*math.Pi))
+	}
+}
+
+func BenchmarkRK4Oscillator(b *testing.B) {
+	sys, exact := ode.Oscillator(1)
+	st := NewStepper(Classic4(), sys)
+	u := make([]float64, 2)
+	for i := 0; i < b.N; i++ {
+		copy(u, exact(0))
+		st.Integrate(0, 1, 10, u)
+	}
+}

@@ -1,0 +1,208 @@
+package sdc
+
+import (
+	"fmt"
+
+	"repro/internal/ode"
+	"repro/internal/quadrature"
+)
+
+// IMEXSystem is an initial value problem with a stiff/non-stiff
+// splitting u' = fE(t,u) + fI(t,u). The paper notes (after Eq. 13)
+// that implicit-explicit SDC schemes are built from the same sweep
+// structure with forward Euler on fE and backward Euler on fI.
+type IMEXSystem interface {
+	ode.System // F must evaluate the full right-hand side fE + fI
+	// FExpl evaluates the explicit (non-stiff) part.
+	FExpl(t float64, u, f []float64)
+	// FImpl evaluates the implicit (stiff) part.
+	FImpl(t float64, u, f []float64)
+	// SolveImplicit solves u − dt·fI(t, u) = rhs for u, writing the
+	// solution into u (which enters holding an initial guess).
+	SolveImplicit(t, dt float64, rhs, u []float64)
+}
+
+// IMEXSweeper performs semi-implicit SDC sweeps:
+//
+//	U^{k+1}_{m+1} = U^{k+1}_m
+//	              + Δt_m [fE(t_m, U^{k+1}_m)     − fE(t_m, U^k_m)]
+//	              + Δt_m [fI(t_{m+1}, U^{k+1}_{m+1}) − fI(t_{m+1}, U^k_{m+1})]
+//	              + (S F^k)_m,
+//
+// which requires one backward-Euler-type solve per node and step and
+// remains stable for stiff fI at step sizes where the explicit sweep
+// blows up.
+type IMEXSweeper struct {
+	sys   IMEXSystem
+	nodes []float64
+	s     [][]float64
+	q     [][]float64
+	dim   int
+
+	t0, dt float64
+
+	U      [][]float64
+	FE, FI [][]float64
+
+	feOld, fiOld [][]float64
+	integ        [][]float64
+	rhs          []float64
+	resid        []float64
+
+	// NEvals counts explicit+implicit evaluations; NSolves counts
+	// implicit solves.
+	NEvals, NSolves int64
+}
+
+// NewIMEXSweeper returns an IMEX sweeper on nNodes Gauss–Lobatto nodes.
+func NewIMEXSweeper(sys IMEXSystem, nNodes int) *IMEXSweeper {
+	if nNodes < 2 {
+		panic("sdc: need at least 2 collocation nodes")
+	}
+	nodes := quadrature.GaussLobatto(nNodes)
+	sw := &IMEXSweeper{
+		sys:   sys,
+		nodes: nodes,
+		s:     quadrature.SMatrix(nodes),
+		q:     quadrature.QMatrix(nodes),
+		dim:   sys.Dim(),
+	}
+	n := len(nodes)
+	alloc := func(rows int) [][]float64 {
+		a := make([][]float64, rows)
+		for i := range a {
+			a[i] = make([]float64, sw.dim)
+		}
+		return a
+	}
+	sw.U = alloc(n)
+	sw.FE = alloc(n)
+	sw.FI = alloc(n)
+	sw.feOld = alloc(n)
+	sw.fiOld = alloc(n)
+	sw.integ = alloc(n - 1)
+	sw.rhs = make([]float64, sw.dim)
+	sw.resid = make([]float64, sw.dim)
+	return sw
+}
+
+// Setup prepares the sweeper for the step [t0, t0+dt].
+func (sw *IMEXSweeper) Setup(t0, dt float64) { sw.t0, sw.dt = t0, dt }
+
+func (sw *IMEXSweeper) nodeTime(m int) float64 { return sw.t0 + sw.dt*sw.nodes[m] }
+
+func (sw *IMEXSweeper) eval(m int) {
+	sw.sys.FExpl(sw.nodeTime(m), sw.U[m], sw.FE[m])
+	sw.sys.FImpl(sw.nodeTime(m), sw.U[m], sw.FI[m])
+	sw.NEvals++
+}
+
+// SetU0 sets the initial node value and evaluates both parts there.
+func (sw *IMEXSweeper) SetU0(u0 []float64) {
+	if len(u0) != sw.dim {
+		panic(fmt.Sprintf("sdc: SetU0 length %d, want %d", len(u0), sw.dim))
+	}
+	ode.Copy(sw.U[0], u0)
+	sw.eval(0)
+}
+
+// Spread copies U_0 to every node and evaluates both parts.
+func (sw *IMEXSweeper) Spread() {
+	for m := 1; m < len(sw.nodes); m++ {
+		ode.Copy(sw.U[m], sw.U[0])
+		sw.eval(m)
+	}
+}
+
+// Sweep performs one IMEX SDC sweep.
+func (sw *IMEXSweeper) Sweep() {
+	n := len(sw.nodes)
+	for m := 0; m < n; m++ {
+		ode.Copy(sw.feOld[m], sw.FE[m])
+		ode.Copy(sw.fiOld[m], sw.FI[m])
+	}
+	// Spectral integral of the full right-hand side of iterate k.
+	for m := 0; m < n-1; m++ {
+		ode.Zero(sw.integ[m])
+		for j := 0; j < n; j++ {
+			ode.AXPY(sw.dt*sw.s[m][j], sw.feOld[j], sw.integ[m])
+			ode.AXPY(sw.dt*sw.s[m][j], sw.fiOld[j], sw.integ[m])
+		}
+	}
+	for m := 0; m < n-1; m++ {
+		dtm := sw.dt * (sw.nodes[m+1] - sw.nodes[m])
+		// rhs = U_m + Δt_m (fE_new,m − fE_old,m − fI_old,m+1) + integ_m
+		ode.Copy(sw.rhs, sw.U[m])
+		ode.AXPY(dtm, sw.FE[m], sw.rhs)
+		ode.AXPY(-dtm, sw.feOld[m], sw.rhs)
+		ode.AXPY(-dtm, sw.fiOld[m+1], sw.rhs)
+		for i := range sw.rhs {
+			sw.rhs[i] += sw.integ[m][i]
+		}
+		// Solve U_{m+1} − Δt_m fI(t_{m+1}, U_{m+1}) = rhs.
+		sw.sys.SolveImplicit(sw.nodeTime(m+1), dtm, sw.rhs, sw.U[m+1])
+		sw.NSolves++
+		sw.eval(m + 1)
+	}
+}
+
+// Residual returns the maximum collocation residual (full right-hand
+// side).
+func (sw *IMEXSweeper) Residual() float64 {
+	n := len(sw.nodes)
+	maxR := 0.0
+	for m := 0; m < n-1; m++ {
+		ode.Copy(sw.resid, sw.U[0])
+		for j := 0; j < n; j++ {
+			ode.AXPY(sw.dt*sw.q[m][j], sw.FE[j], sw.resid)
+			ode.AXPY(sw.dt*sw.q[m][j], sw.FI[j], sw.resid)
+		}
+		for i := range sw.resid {
+			sw.resid[i] -= sw.U[m+1][i]
+		}
+		if r := ode.MaxNorm(sw.resid); r > maxR {
+			maxR = r
+		}
+	}
+	return maxR
+}
+
+// UEnd returns the right-endpoint node value (shared storage).
+func (sw *IMEXSweeper) UEnd() []float64 { return sw.U[len(sw.nodes)-1] }
+
+// IMEXIntegrator is the time-serial semi-implicit SDC method.
+type IMEXIntegrator struct {
+	sw     *IMEXSweeper
+	sweeps int
+}
+
+// NewIMEXIntegrator returns an IMEX SDC integrator.
+func NewIMEXIntegrator(sys IMEXSystem, nNodes, sweeps int) *IMEXIntegrator {
+	if sweeps < 1 {
+		panic("sdc: need at least one sweep")
+	}
+	return &IMEXIntegrator{sw: NewIMEXSweeper(sys, nNodes), sweeps: sweeps}
+}
+
+// Step advances u in place from t0 to t0+dt.
+func (in *IMEXIntegrator) Step(t0, dt float64, u []float64) {
+	sw := in.sw
+	sw.Setup(t0, dt)
+	sw.SetU0(u)
+	sw.Spread()
+	for k := 0; k < in.sweeps; k++ {
+		sw.Sweep()
+	}
+	ode.Copy(u, sw.UEnd())
+}
+
+// Integrate advances u in place from t0 to t1 in nsteps equal steps.
+func (in *IMEXIntegrator) Integrate(t0, t1 float64, nsteps int, u []float64) {
+	if nsteps <= 0 {
+		panic("sdc: Integrate needs nsteps > 0")
+	}
+	dt := (t1 - t0) / float64(nsteps)
+	for n := 0; n < nsteps; n++ {
+		in.Step(t0+float64(n)*dt, dt, u)
+	}
+}

@@ -1,0 +1,156 @@
+// Package sph implements smooth particle hydrodynamics, the third
+// interaction discipline of the multi-purpose N-body suite: the paper
+// notes that PEPC "has undergone a transition from a pure
+// gravitation/Coulomb solver to a multi-purpose N-body suite ...
+// applied to ... stellar disc dynamics using Smooth Particle
+// Hydrodynamics (SPH)".
+//
+// Particles reuse the Charge attribute as their mass (exactly PEPC's
+// generic-attribute design). Densities are computed by kernel
+// summation over the neighbor lists of package neighbor; accelerations
+// combine the symmetrized pressure gradient, standard Monaghan
+// artificial viscosity, and optionally self-gravity evaluated with the
+// Barnes-Hut tree (Coulomb discipline with the attractive sign).
+package sph
+
+import (
+	"math"
+
+	"repro/internal/kernel"
+	"repro/internal/neighbor"
+	"repro/internal/particle"
+	"repro/internal/tree"
+	"repro/internal/vec"
+)
+
+// W evaluates the 3D cubic-spline (M4) SPH kernel with smoothing
+// length h at distance r; support radius 2h, normalization
+// ∫ W dV = 1.
+func W(r, h float64) float64 {
+	q := r / h
+	sigma := 1 / (math.Pi * h * h * h)
+	switch {
+	case q < 1:
+		return sigma * (1 - 1.5*q*q + 0.75*q*q*q)
+	case q < 2:
+		d := 2 - q
+		return sigma * 0.25 * d * d * d
+	default:
+		return 0
+	}
+}
+
+// GradWOverR returns (dW/dr)/r, so that ∇W(x_i − x_j) =
+// GradWOverR(r,h) · (x_i − x_j). The division by r is finite at r → 0
+// (dW/dr ~ −3σ q/h · ... vanishes linearly).
+func GradWOverR(r, h float64) float64 {
+	q := r / h
+	sigma := 1 / (math.Pi * h * h * h)
+	switch {
+	case q < 1e-12:
+		return -3 * sigma / (h * h) // limit of (dW/dr)/r as r→0
+	case q < 1:
+		return sigma * (-3*q + 2.25*q*q) / (q * h * h)
+	case q < 2:
+		d := 2 - q
+		return sigma * (-0.75 * d * d) / (q * h * h)
+	default:
+		return 0
+	}
+}
+
+// Config parameterizes the SPH evaluation.
+type Config struct {
+	// H is the smoothing length (support radius 2H).
+	H float64
+	// SoundSpeed sets the isothermal equation of state P = c²ρ.
+	SoundSpeed float64
+	// AlphaVisc and BetaVisc are the Monaghan artificial-viscosity
+	// coefficients (typical: 1 and 2; zero disables).
+	AlphaVisc, BetaVisc float64
+	// Gravity enables tree self-gravity with constant G = Gravity
+	// (zero disables) and Plummer softening Eps.
+	Gravity float64
+	Eps     float64
+	// Theta is the tree MAC parameter for the gravity pass.
+	Theta float64
+}
+
+// Result holds the per-particle hydro state of one evaluation.
+type Result struct {
+	Density  []float64
+	Pressure []float64
+	Accel    []vec.Vec3
+}
+
+// Evaluate computes densities, pressures and accelerations for all
+// particles. Velocities (for the artificial viscosity) are passed
+// separately; nil velocities disable the viscous term.
+func Evaluate(sys *particle.System, vel []vec.Vec3, cfg Config) Result {
+	n := sys.N()
+	if cfg.H <= 0 {
+		panic("sph: H must be positive")
+	}
+	if vel != nil && len(vel) != n {
+		panic("sph: velocity slice length mismatch")
+	}
+	grid := neighbor.Build(sys, 2*cfg.H)
+	res := Result{
+		Density:  make([]float64, n),
+		Pressure: make([]float64, n),
+		Accel:    make([]vec.Vec3, n),
+	}
+
+	// Density by kernel summation (self term included).
+	for i := 0; i < n; i++ {
+		mi := sys.Particles[i].Charge
+		rho := mi * W(0, cfg.H)
+		grid.ForEachNeighbor(i, func(j int, r vec.Vec3, d float64) {
+			rho += sys.Particles[j].Charge * W(d, cfg.H)
+		})
+		res.Density[i] = rho
+		res.Pressure[i] = cfg.SoundSpeed * cfg.SoundSpeed * rho
+	}
+
+	// Symmetrized pressure gradient + artificial viscosity.
+	c := cfg.SoundSpeed
+	for i := 0; i < n; i++ {
+		pi := res.Pressure[i]
+		rhoI := res.Density[i]
+		var acc vec.Vec3
+		grid.ForEachNeighbor(i, func(j int, r vec.Vec3, d float64) {
+			mj := sys.Particles[j].Charge
+			rhoJ := res.Density[j]
+			term := pi/(rhoI*rhoI) + res.Pressure[j]/(rhoJ*rhoJ)
+			if vel != nil && cfg.AlphaVisc > 0 {
+				vij := vel[i].Sub(vel[j])
+				vr := vij.Dot(r)
+				if vr < 0 { // approaching: viscous dissipation
+					mu := cfg.H * vr / (d*d + 0.01*cfg.H*cfg.H)
+					rhoBar := 0.5 * (rhoI + rhoJ)
+					term += (-cfg.AlphaVisc*c*mu + cfg.BetaVisc*mu*mu) / rhoBar
+				}
+			}
+			acc = acc.AddScaled(-mj*term*GradWOverR(d, cfg.H), r)
+		})
+		res.Accel[i] = acc
+	}
+
+	// Self-gravity via the Barnes-Hut tree (attractive Coulomb).
+	if cfg.Gravity > 0 {
+		theta := cfg.Theta
+		if theta <= 0 {
+			theta = 0.5
+		}
+		ts := tree.NewSolver(kernel.Algebraic2(), kernel.Transpose, theta)
+		pot := make([]float64, n)
+		field := make([]vec.Vec3, n)
+		ts.Coulomb(sys, cfg.Eps, pot, field)
+		for i := 0; i < n; i++ {
+			// Coulomb field of positive "charges" (masses) is
+			// repulsive; gravity flips the sign: a = −G · E.
+			res.Accel[i] = res.Accel[i].AddScaled(-cfg.Gravity, field[i])
+		}
+	}
+	return res
+}

@@ -1,0 +1,175 @@
+package sph
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/particle"
+	"repro/internal/vec"
+)
+
+func TestKernelNormalization(t *testing.T) {
+	// ∫ W dV = ∫0^2h 4πr² W dr = 1.
+	h := 0.7
+	const n = 40000
+	sum := 0.0
+	dr := 2 * h / n
+	for i := 0; i < n; i++ {
+		r := (float64(i) + 0.5) * dr
+		sum += 4 * math.Pi * r * r * W(r, h) * dr
+	}
+	if math.Abs(sum-1) > 1e-4 {
+		t.Fatalf("∫W = %v", sum)
+	}
+}
+
+func TestKernelSupportAndPositivity(t *testing.T) {
+	h := 0.5
+	if W(2*h, h) != 0 || W(3*h, h) != 0 {
+		t.Fatal("support must end at 2h")
+	}
+	for _, q := range []float64{0, 0.3, 0.9, 1.5, 1.99} {
+		if W(q*h, h) < 0 {
+			t.Fatalf("W negative at q=%v", q)
+		}
+	}
+	if W(0, h) <= W(h, h) {
+		t.Fatal("kernel must peak at the origin")
+	}
+}
+
+func TestGradWMatchesFiniteDifference(t *testing.T) {
+	h := 0.4
+	for _, r := range []float64{0.05, 0.2, 0.39, 0.5, 0.79} {
+		eps := 1e-7
+		fd := (W(r+eps, h) - W(r-eps, h)) / (2 * eps)
+		got := GradWOverR(r, h) * r
+		if math.Abs(got-fd) > 1e-5*(1+math.Abs(fd)) {
+			t.Fatalf("dW/dr at r=%v: %v vs fd %v", r, got, fd)
+		}
+	}
+}
+
+// lattice builds a uniform cubic lattice of unit-mass particles with
+// spacing dx inside [0, L)³.
+func lattice(cells int, dx float64) *particle.System {
+	sys := &particle.System{Sigma: dx}
+	for i := 0; i < cells; i++ {
+		for j := 0; j < cells; j++ {
+			for k := 0; k < cells; k++ {
+				sys.Particles = append(sys.Particles, particle.Particle{
+					Pos:    vec.V3(float64(i)*dx, float64(j)*dx, float64(k)*dx),
+					Charge: 1, // mass
+					Vol:    dx * dx * dx,
+				})
+			}
+		}
+	}
+	return sys
+}
+
+func TestDensityOfUniformLattice(t *testing.T) {
+	dx := 0.1
+	sys := lattice(8, dx)
+	res := Evaluate(sys, nil, Config{H: 1.3 * dx, SoundSpeed: 1})
+	// Interior particles should see ρ ≈ m/dx³ = 1000.
+	want := 1 / (dx * dx * dx)
+	center := 3*64 + 3*8 + 3 // (3,3,3)
+	got := res.Density[center]
+	if math.Abs(got-want)/want > 0.1 {
+		t.Fatalf("interior density %v, want ≈ %v", got, want)
+	}
+	// Boundary particles see roughly half that.
+	if res.Density[0] >= got {
+		t.Fatal("corner particle should have lower density")
+	}
+}
+
+func TestInteriorPressureForceVanishesOnLattice(t *testing.T) {
+	dx := 0.1
+	sys := lattice(9, dx)
+	res := Evaluate(sys, nil, Config{H: 1.3 * dx, SoundSpeed: 1})
+	center := 4*81 + 4*9 + 4
+	// Perfect lattice symmetry: the interior acceleration cancels.
+	aC := res.Accel[center].Norm()
+	aCorner := res.Accel[0].Norm()
+	if aC > 0.01*aCorner {
+		t.Fatalf("interior accel %g not ≪ boundary accel %g", aC, aCorner)
+	}
+}
+
+func TestMomentumConservation(t *testing.T) {
+	// The symmetrized pressure force is pairwise antisymmetric:
+	// Σ m_i a_i = 0.
+	sys := particle.RandomVortexBlob(150, 0.2, 67)
+	for i := range sys.Particles {
+		sys.Particles[i].Charge = 1 + 0.5*math.Sin(float64(i))
+	}
+	vel := make([]vec.Vec3, sys.N())
+	for i := range vel {
+		vel[i] = vec.V3(math.Sin(float64(2*i)), math.Cos(float64(i)), 0).Scale(0.1)
+	}
+	res := Evaluate(sys, vel, Config{H: 0.4, SoundSpeed: 2, AlphaVisc: 1, BetaVisc: 2})
+	var ptot, scale vec.Vec3
+	for i := range res.Accel {
+		m := sys.Particles[i].Charge
+		ptot = ptot.AddScaled(m, res.Accel[i])
+		scale = scale.Add(vec.V3(
+			math.Abs(m*res.Accel[i].X), math.Abs(m*res.Accel[i].Y), math.Abs(m*res.Accel[i].Z)))
+	}
+	if ptot.Norm() > 1e-9*(scale.Norm()+1) {
+		t.Fatalf("momentum drift %v (scale %v)", ptot, scale.Norm())
+	}
+}
+
+func TestViscositySlowsApproach(t *testing.T) {
+	// Two approaching particles: viscosity must add a decelerating
+	// (separating) force compared to the inviscid case.
+	sys := &particle.System{Particles: []particle.Particle{
+		{Pos: vec.V3(0, 0, 0), Charge: 1, Vol: 1},
+		{Pos: vec.V3(0.3, 0, 0), Charge: 1, Vol: 1},
+	}}
+	vel := []vec.Vec3{vec.V3(1, 0, 0), vec.V3(-1, 0, 0)} // approaching
+	inviscid := Evaluate(sys, vel, Config{H: 0.3, SoundSpeed: 1})
+	viscous := Evaluate(sys, vel, Config{H: 0.3, SoundSpeed: 1, AlphaVisc: 1, BetaVisc: 2})
+	// Particle 0 moves +x toward particle 1; the viscous extra force on
+	// it must point away (−x) more strongly than inviscid.
+	if viscous.Accel[0].X >= inviscid.Accel[0].X {
+		t.Fatalf("viscosity did not decelerate approach: %v vs %v",
+			viscous.Accel[0].X, inviscid.Accel[0].X)
+	}
+}
+
+func TestGravityAttracts(t *testing.T) {
+	// Two well-separated particles with gravity on: accelerations point
+	// toward each other.
+	sys := &particle.System{Particles: []particle.Particle{
+		{Pos: vec.V3(0, 0, 0), Charge: 1, Vol: 1},
+		{Pos: vec.V3(3, 0, 0), Charge: 1, Vol: 1},
+	}}
+	res := Evaluate(sys, nil, Config{H: 0.2, SoundSpeed: 0, Gravity: 1, Eps: 0.01})
+	if res.Accel[0].X <= 0 || res.Accel[1].X >= 0 {
+		t.Fatalf("gravity not attractive: %v %v", res.Accel[0], res.Accel[1])
+	}
+	want := 1.0 / 9.0
+	if math.Abs(res.Accel[0].X-want)/want > 0.05 {
+		t.Fatalf("gravity magnitude %v, want ≈ %v", res.Accel[0].X, want)
+	}
+}
+
+func TestEvaluatePanics(t *testing.T) {
+	sys := particle.RandomVortexBlob(5, 0.3, 71)
+	for _, fn := range []func(){
+		func() { Evaluate(sys, nil, Config{H: 0}) },
+		func() { Evaluate(sys, make([]vec.Vec3, 3), Config{H: 0.2}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

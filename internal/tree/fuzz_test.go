@@ -1,0 +1,35 @@
+package tree
+
+import "testing"
+
+// FuzzMortonRoundTrip checks key encode/decode over the full
+// coordinate range, plus the placeholder-key algebra.
+func FuzzMortonRoundTrip(f *testing.F) {
+	f.Add(uint32(0), uint32(0), uint32(0), 3)
+	f.Add(uint32(0x1fffff), uint32(0x1fffff), uint32(0x1fffff), 21)
+	f.Add(uint32(12345), uint32(54321), uint32(999), 7)
+	f.Fuzz(func(t *testing.T, x, y, z uint32, level int) {
+		x &= 0x1fffff
+		y &= 0x1fffff
+		z &= 0x1fffff
+		key := MortonKey(x, y, z)
+		ix, iy, iz := MortonDecode(key)
+		if ix != x || iy != y || iz != z {
+			t.Fatalf("round trip failed: (%d,%d,%d)", x, y, z)
+		}
+		level = ((level % KeyBits) + KeyBits) % KeyBits
+		prefix := key >> (3 * (KeyBits - level)) << (3 * (KeyBits - level))
+		pkey := PlaceholderKey(prefix, level)
+		if got := PKeyLevel(pkey); got != level {
+			t.Fatalf("PKeyLevel(%x) = %d, want %d", pkey, got, level)
+		}
+		p2, l2 := PKeyPrefix(pkey)
+		if p2 != prefix || l2 != level {
+			t.Fatalf("PKeyPrefix mismatch")
+		}
+		lo, hi := KeyRange(pkey)
+		if key < lo || key > hi {
+			t.Fatalf("key %x outside its own cell range [%x,%x]", key, lo, hi)
+		}
+	})
+}

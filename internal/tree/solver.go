@@ -1,0 +1,141 @@
+package tree
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/field"
+	"repro/internal/kernel"
+	"repro/internal/particle"
+	"repro/internal/vec"
+)
+
+// Solver is the Barnes-Hut evaluator: every Eval rebuilds the tree for
+// the current particle positions (as PEPC does per force evaluation)
+// and traverses it once per target particle.
+type Solver struct {
+	// Sm and Scheme select the smoothing kernel and stretching form.
+	Sm     kernel.Smoothing
+	Scheme kernel.Scheme
+	// Theta is the MAC parameter; larger is faster and less accurate.
+	// The paper's fine/coarse PFASST propagators use 0.3 / 0.6.
+	Theta float64
+	// LeafCap is the leaf bucket size (default 1 = classical tree).
+	LeafCap int
+	// Workers bounds traversal concurrency (≤0: GOMAXPROCS).
+	Workers int
+	// Dipole enables the cluster dipole correction for velocities.
+	Dipole bool
+	// MAC selects the acceptance criterion (default: classical
+	// Barnes-Hut, the paper's choice).
+	MAC MACKind
+
+	evals        atomic.Int64
+	interactions atomic.Int64
+
+	// LastTree is the tree of the most recent Eval (for inspection by
+	// experiments); it is overwritten on every call.
+	LastTree *Tree
+}
+
+// NewSolver returns a tree evaluator with the given kernel, stretching
+// scheme and MAC parameter θ, with dipole corrections enabled and a
+// bucket size of 8.
+func NewSolver(sm kernel.Smoothing, scheme kernel.Scheme, theta float64) *Solver {
+	return &Solver{Sm: sm, Scheme: scheme, Theta: theta, LeafCap: 8, Dipole: true}
+}
+
+// Name implements field.Evaluator.
+func (s *Solver) Name() string {
+	return fmt.Sprintf("tree/%s/theta=%.2f", s.Sm.Name(), s.Theta)
+}
+
+// Stats implements field.Evaluator.
+func (s *Solver) Stats() field.Stats {
+	return field.Stats{
+		Evaluations:  s.evals.Load(),
+		Interactions: s.interactions.Load(),
+	}
+}
+
+// Eval implements field.Evaluator: Barnes-Hut velocities and
+// stretching terms for all particles.
+func (s *Solver) Eval(sys *particle.System, vel, stretch []vec.Vec3) {
+	n := sys.N()
+	if len(vel) != n || len(stretch) != n {
+		panic("tree: Eval output slices must have length N")
+	}
+	s.evals.Add(1)
+	t := Build(sys, BuildConfig{LeafCap: s.LeafCap, Discipline: Vortex})
+	s.LastTree = t
+	pw := kernel.Pairwise{Sm: s.Sm, Sigma: sys.Sigma}
+	var inter atomic.Int64
+	s.parallelRange(n, func(lo, hi int) {
+		var local int64
+		for q := lo; q < hi; q++ {
+			p := &sys.Particles[q]
+			res := t.VortexAtNodeMAC(s.MAC, t.Root, p.Pos, s.Theta, q, pw, s.Dipole)
+			vel[q] = res.U
+			stretch[q] = s.Scheme.Stretch(res.Grad, p.Alpha)
+			local += res.Interactions
+		}
+		inter.Add(local)
+	})
+	s.interactions.Add(inter.Load())
+}
+
+// Coulomb evaluates the softened Coulomb potential and field for all
+// particles with the tree.
+func (s *Solver) Coulomb(sys *particle.System, eps float64, pot []float64, f []vec.Vec3) {
+	n := sys.N()
+	if len(pot) != n || len(f) != n {
+		panic("tree: Coulomb output slices must have length N")
+	}
+	s.evals.Add(1)
+	t := Build(sys, BuildConfig{LeafCap: s.LeafCap, Discipline: Coulomb})
+	s.LastTree = t
+	var inter atomic.Int64
+	s.parallelRange(n, func(lo, hi int) {
+		var local int64
+		for q := lo; q < hi; q++ {
+			res := t.CoulombAt(sys.Particles[q].Pos, s.Theta, eps, q)
+			pot[q] = res.Phi
+			f[q] = res.E
+			local += res.Interactions
+		}
+		inter.Add(local)
+	})
+	s.interactions.Add(inter.Load())
+}
+
+func (s *Solver) parallelRange(n int, fn func(lo, hi int)) {
+	w := s.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		fn(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + w - 1) / w
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+var _ field.Evaluator = (*Solver)(nil)

@@ -1,0 +1,250 @@
+package vec
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+const eps = 1e-12
+
+func almostEq(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol*(1+math.Abs(a)+math.Abs(b))
+}
+
+func vecAlmostEq(a, b Vec3, tol float64) bool {
+	return almostEq(a.X, b.X, tol) && almostEq(a.Y, b.Y, tol) && almostEq(a.Z, b.Z, tol)
+}
+
+func randomVec(r *rand.Rand) Vec3 {
+	return Vec3{r.NormFloat64(), r.NormFloat64(), r.NormFloat64()}
+}
+
+// sane maps an arbitrary quick.Check float64 (which may be huge, Inf or
+// NaN) into a numerically benign range so identities can be checked
+// without overflow.
+func sane(x float64) float64 {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return 1
+	}
+	return math.Mod(x, 100)
+}
+
+func TestAddSub(t *testing.T) {
+	a := V3(1, 2, 3)
+	b := V3(-4, 5, 0.5)
+	if got := a.Add(b); got != V3(-3, 7, 3.5) {
+		t.Fatalf("Add = %v", got)
+	}
+	if got := a.Sub(b); got != V3(5, -3, 2.5) {
+		t.Fatalf("Sub = %v", got)
+	}
+	if got := a.Neg(); got != V3(-1, -2, -3) {
+		t.Fatalf("Neg = %v", got)
+	}
+}
+
+func TestScaleDot(t *testing.T) {
+	a := V3(1, -2, 3)
+	if got := a.Scale(2); got != V3(2, -4, 6) {
+		t.Fatalf("Scale = %v", got)
+	}
+	if got := a.Dot(V3(4, 5, 6)); got != 4-10+18 {
+		t.Fatalf("Dot = %v", got)
+	}
+}
+
+func TestCrossBasis(t *testing.T) {
+	ex, ey, ez := V3(1, 0, 0), V3(0, 1, 0), V3(0, 0, 1)
+	if got := ex.Cross(ey); got != ez {
+		t.Fatalf("ex x ey = %v", got)
+	}
+	if got := ey.Cross(ez); got != ex {
+		t.Fatalf("ey x ez = %v", got)
+	}
+	if got := ez.Cross(ex); got != ey {
+		t.Fatalf("ez x ex = %v", got)
+	}
+}
+
+func TestCrossAntisymmetryProperty(t *testing.T) {
+	f := func(ax, ay, az, bx, by, bz float64) bool {
+		a := V3(sane(ax), sane(ay), sane(az))
+		b := V3(sane(bx), sane(by), sane(bz))
+		return vecAlmostEq(a.Cross(b), b.Cross(a).Neg(), 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCrossOrthogonalProperty(t *testing.T) {
+	f := func(ax, ay, az, bx, by, bz float64) bool {
+		a := V3(sane(ax), sane(ay), sane(az))
+		b := V3(sane(bx), sane(by), sane(bz))
+		c := a.Cross(b)
+		scale := a.Norm()*b.Norm() + 1
+		return math.Abs(c.Dot(a))/scale/(c.Norm()+1) < 1e-9 &&
+			math.Abs(c.Dot(b))/scale/(c.Norm()+1) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNorm(t *testing.T) {
+	v := V3(3, 4, 12)
+	if got := v.Norm(); got != 13 {
+		t.Fatalf("Norm = %v, want 13", got)
+	}
+	if got := v.Norm2(); got != 169 {
+		t.Fatalf("Norm2 = %v, want 169", got)
+	}
+	if got := v.NormInf(); got != 12 {
+		t.Fatalf("NormInf = %v, want 12", got)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	v := V3(0, 3, 4).Normalize()
+	if !vecAlmostEq(v, V3(0, 0.6, 0.8), eps) {
+		t.Fatalf("Normalize = %v", v)
+	}
+	if got := Zero3.Normalize(); got != Zero3 {
+		t.Fatalf("Normalize(0) = %v", got)
+	}
+}
+
+func TestAddScaled(t *testing.T) {
+	got := V3(1, 1, 1).AddScaled(2, V3(1, 2, 3))
+	if got != V3(3, 5, 7) {
+		t.Fatalf("AddScaled = %v", got)
+	}
+}
+
+func TestMinMaxMul(t *testing.T) {
+	a, b := V3(1, 5, -2), V3(3, 2, -4)
+	if got := a.Min(b); got != V3(1, 2, -4) {
+		t.Fatalf("Min = %v", got)
+	}
+	if got := a.Max(b); got != V3(3, 5, -2) {
+		t.Fatalf("Max = %v", got)
+	}
+	if got := a.Mul(b); got != V3(3, 10, 8) {
+		t.Fatalf("Mul = %v", got)
+	}
+}
+
+func TestComponentRoundTrip(t *testing.T) {
+	v := V3(7, 8, 9)
+	for i := 0; i < 3; i++ {
+		w := Zero3.WithComponent(i, v.Component(i))
+		if w.Component(i) != v.Component(i) {
+			t.Fatalf("component %d round trip failed", i)
+		}
+	}
+}
+
+func TestIsFinite(t *testing.T) {
+	if !V3(1, 2, 3).IsFinite() {
+		t.Fatal("finite vector reported non-finite")
+	}
+	if V3(math.NaN(), 0, 0).IsFinite() {
+		t.Fatal("NaN vector reported finite")
+	}
+	if V3(0, math.Inf(1), 0).IsFinite() {
+		t.Fatal("Inf vector reported finite")
+	}
+}
+
+func TestOuterMulVec(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for iter := 0; iter < 50; iter++ {
+		a, b, x := randomVec(r), randomVec(r), randomVec(r)
+		// (a bᵀ) x == a (b·x)
+		got := Outer(a, b).MulVec(x)
+		want := a.Scale(b.Dot(x))
+		if !vecAlmostEq(got, want, 1e-10) {
+			t.Fatalf("outer mulvec: got %v want %v", got, want)
+		}
+	}
+}
+
+func TestMatVecMulIsTransposeAction(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for iter := 0; iter < 50; iter++ {
+		a, b, x := randomVec(r), randomVec(r), randomVec(r)
+		m := Outer(a, b)
+		got := m.VecMul(x)
+		want := m.Transpose().MulVec(x)
+		if !vecAlmostEq(got, want, 1e-10) {
+			t.Fatalf("VecMul mismatch: got %v want %v", got, want)
+		}
+	}
+}
+
+func TestMat3AddSubScale(t *testing.T) {
+	m := Outer(V3(1, 2, 3), V3(4, 5, 6))
+	n := Identity3()
+	sum := m.Add(n)
+	if sum[0][0] != m[0][0]+1 || sum[1][1] != m[1][1]+1 || sum[2][2] != m[2][2]+1 {
+		t.Fatalf("Add identity wrong: %v", sum)
+	}
+	if diff := sum.Sub(n); diff != m {
+		t.Fatalf("Sub = %v want %v", diff, m)
+	}
+	if sc := m.Scale(2); sc[1][2] != 2*m[1][2] {
+		t.Fatalf("Scale wrong")
+	}
+}
+
+func TestTrace(t *testing.T) {
+	m := Outer(V3(1, 2, 3), V3(4, 5, 6))
+	if got, want := m.Trace(), 1.0*4+2*5+3*6; got != want {
+		t.Fatalf("Trace = %v want %v", got, want)
+	}
+	if got := Identity3().Trace(); got != 3 {
+		t.Fatalf("Trace(I) = %v", got)
+	}
+}
+
+func TestFrobeniusNorm(t *testing.T) {
+	if got := Identity3().FrobeniusNorm(); !almostEq(got, math.Sqrt(3), eps) {
+		t.Fatalf("FrobeniusNorm(I) = %v", got)
+	}
+}
+
+func TestOuterRank1Trace(t *testing.T) {
+	// trace(a bᵀ) = a·b
+	f := func(ax, ay, az, bx, by, bz float64) bool {
+		a := V3(sane(ax), sane(ay), sane(az))
+		b := V3(sane(bx), sane(by), sane(bz))
+		return almostEq(Outer(a, b).Trace(), a.Dot(b), 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScalarTripleProductCyclic(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for iter := 0; iter < 100; iter++ {
+		a, b, c := randomVec(r), randomVec(r), randomVec(r)
+		p1 := a.Dot(b.Cross(c))
+		p2 := b.Dot(c.Cross(a))
+		p3 := c.Dot(a.Cross(b))
+		if !almostEq(p1, p2, 1e-9) || !almostEq(p2, p3, 1e-9) {
+			t.Fatalf("triple product not cyclic: %v %v %v", p1, p2, p3)
+		}
+	}
+}
+
+func BenchmarkCross(b *testing.B) {
+	v, w := V3(1, 2, 3), V3(4, 5, 6)
+	var acc Vec3
+	for i := 0; i < b.N; i++ {
+		acc = acc.Add(v.Cross(w))
+	}
+	_ = acc
+}

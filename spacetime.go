@@ -1,0 +1,171 @@
+package nbody
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/kernel"
+	"repro/internal/machine"
+	"repro/internal/mpi"
+	"repro/internal/particle"
+)
+
+// SpaceTimeConfig parameterizes a PT×PS space-time parallel run (the
+// paper's headline configuration; Fig. 2).
+type SpaceTimeConfig struct {
+	// PT is the number of parallel time slices, PS the number of
+	// spatial ranks per slice. The run uses PT·PS in-process ranks.
+	PT, PS int
+	// ThetaFine and ThetaCoarse are the MAC parameters of the fine and
+	// coarse PFASST levels (paper: 0.3 / 0.6).
+	ThetaFine, ThetaCoarse float64
+	// Iterations and CoarseSweeps select PFASST(X, Y, PT) (paper: 2, 2).
+	Iterations, CoarseSweeps int
+	// Tol, when positive, stops PFASST iterations early once the
+	// slice-end updates fall below it (adaptive mode).
+	Tol float64
+	// Threads enables the hybrid per-rank traversal (PEPC's Pthreads
+	// analog); ≤1 is synchronous.
+	Threads int
+	// Modeled enables the Blue Gene/P virtual clocks; ModeledSeconds of
+	// the result is then meaningful.
+	Modeled bool
+}
+
+// DefaultSpaceTime returns the paper's PFASST(2,2,·) configuration.
+func DefaultSpaceTime(pt, ps int) SpaceTimeConfig {
+	return SpaceTimeConfig{
+		PT: pt, PS: ps,
+		ThetaFine: 0.3, ThetaCoarse: 0.6,
+		Iterations: 2, CoarseSweeps: 2,
+	}
+}
+
+// SpaceTimeStats summarizes a space-time run.
+type SpaceTimeStats struct {
+	// ModeledSeconds is the modeled parallel wall-clock time (zero
+	// unless Modeled was set).
+	ModeledSeconds float64
+	// LastSliceResidual is the PFASST iteration-difference residual on
+	// the final time slice.
+	LastSliceResidual float64
+	// FineEvals and CoarseEvals count collective force evaluations per
+	// rank of the last slice.
+	FineEvals, CoarseEvals int64
+}
+
+// RunSpaceTime advances the system from t0 to t1 in nsteps steps
+// (nsteps must be a multiple of cfg.PT) using the full space-time
+// parallel solver: PEPC-style parallel trees in space, PFASST in time.
+// It returns the advanced system (same particle order as the input)
+// and run statistics.
+func RunSpaceTime(cfg SpaceTimeConfig, sys *System, t0, t1 float64, nsteps int) (*System, SpaceTimeStats, error) {
+	if cfg.PT < 1 || cfg.PS < 1 {
+		return nil, SpaceTimeStats{}, fmt.Errorf("nbody: PT=%d, PS=%d invalid", cfg.PT, cfg.PS)
+	}
+	ccfg := core.Default(cfg.PT, cfg.PS)
+	ccfg.ThetaFine = cfg.ThetaFine
+	ccfg.ThetaCoarse = cfg.ThetaCoarse
+	if cfg.Iterations > 0 {
+		ccfg.Iterations = cfg.Iterations
+	}
+	if cfg.CoarseSweeps > 0 {
+		ccfg.CoarseSweeps = cfg.CoarseSweeps
+	}
+	ccfg.Tol = cfg.Tol
+	ccfg.Threads = cfg.Threads
+	var model machine.CostModel
+	if cfg.Modeled {
+		model = machine.BlueGeneP()
+		ccfg.Model = &model
+	}
+
+	out := sys.Clone()
+	var mu sync.Mutex
+	var stats SpaceTimeStats
+
+	runner := func(w *mpi.Comm) error {
+		res, err := core.RunSpaceTime(w, ccfg, sys, t0, t1, nsteps)
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		if res.TimeSlice == cfg.PT-1 {
+			// Write this spatial block into the gathered output.
+			n := sys.N()
+			lo := n * res.SpatialIndex / cfg.PS
+			copy(out.Particles[lo:lo+res.Local.N()], res.Local.Particles)
+			if res.SpatialIndex == 0 {
+				stats.LastSliceResidual = res.PFASST.IterDiffs[len(res.PFASST.IterDiffs)-1]
+				stats.FineEvals = res.FineEvals
+				stats.CoarseEvals = res.CoarseEvals
+			}
+		}
+		return nil
+	}
+
+	var err error
+	if cfg.Modeled {
+		stats.ModeledSeconds, err = mpi.RunTimed(cfg.PT*cfg.PS, mpi.BlueGeneP(), runner)
+	} else {
+		err = mpi.Run(cfg.PT*cfg.PS, runner)
+	}
+	if err != nil {
+		return nil, SpaceTimeStats{}, err
+	}
+	return out, stats, nil
+}
+
+// RunSpaceParallel advances the system with the purely space-parallel
+// baseline: time-serial SDC(sweeps) over ps parallel tree ranks at
+// θ = theta. It returns the advanced system and, when modeled is set,
+// the modeled parallel wall-clock seconds.
+func RunSpaceParallel(ps int, theta float64, sweeps int, modeled bool,
+	sys *System, t0, t1 float64, nsteps int) (*System, float64, error) {
+	if ps < 1 {
+		return nil, 0, fmt.Errorf("nbody: ps %d < 1", ps)
+	}
+	ccfg := core.Default(1, ps)
+	ccfg.ThetaFine = theta
+	var model machine.CostModel
+	if modeled {
+		model = machine.BlueGeneP()
+		ccfg.Model = &model
+	}
+	out := sys.Clone()
+	var mu sync.Mutex
+	runner := func(w *mpi.Comm) error {
+		n := sys.N()
+		lo := n * w.Rank() / ps
+		hi := n * (w.Rank() + 1) / ps
+		local := &particle.System{Sigma: sys.Sigma,
+			Particles: append([]particle.Particle(nil), sys.Particles[lo:hi]...)}
+		if _, err := core.RunSpaceSerialSDC(w, ccfg, local, t0, t1, nsteps, 3, sweeps); err != nil {
+			return err
+		}
+		mu.Lock()
+		copy(out.Particles[lo:hi], local.Particles)
+		mu.Unlock()
+		return nil
+	}
+	var vt float64
+	var err error
+	if modeled {
+		vt, err = mpi.RunTimed(ps, mpi.BlueGeneP(), runner)
+	} else {
+		err = mpi.Run(ps, runner)
+	}
+	if err != nil {
+		return nil, 0, err
+	}
+	return out, vt, nil
+}
+
+// TransposeScheme and ClassicalScheme expose the two discretizations
+// of the vortex stretching term for ablation studies.
+var (
+	TransposeScheme = kernel.Transpose
+	ClassicalScheme = kernel.Classical
+)
