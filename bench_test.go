@@ -34,7 +34,7 @@ func BenchmarkFig1VortexSheetEvolution(b *testing.B) {
 func BenchmarkFig5PEPCStrongScaling(b *testing.B) {
 	cfg := experiments.DefaultFig5()
 	for i := 0; i < b.N; i++ {
-		points, _ := experiments.Fig5Executed(cfg)
+		points, _, _ := experiments.Fig5Executed(cfg)
 		fit := experiments.FitBranches(points)
 		model, _ := experiments.Fig5Model(cfg, fit)
 		b.ReportMetric(float64(experiments.SaturationCores(model, 0.125e6)), "satCores(0.125M)")

@@ -6,8 +6,10 @@
 //
 //	experiments                 # run everything (scaled defaults)
 //	experiments -fig 7a         # a single figure: 1, 5, 7a, 7b, 8
-//	experiments -exp theta-ratio|residuals|speedup-model
+//	experiments -exp theta-ratio|residuals|speedup-model|phases
 //	experiments -csv out/       # additionally write CSV files
+//	experiments -json out/      # write telemetry snapshots as JSON
+//	experiments -pproflabels -cpuprofile cpu.out  # label profile samples by phase
 package main
 
 import (
@@ -16,21 +18,59 @@ import (
 	"log"
 	"os"
 	"path/filepath"
+	"runtime/pprof"
 	"strings"
 
 	"repro/internal/experiments"
+	"repro/internal/telemetry"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("experiments: ")
 	var (
-		fig    = flag.String("fig", "", "figure to regenerate: 1, 5, 7a, 7b, 8 (empty = all)")
-		exp    = flag.String("exp", "", "extra experiment: theta-ratio, residuals, speedup-model, ablations")
-		csvDir = flag.String("csv", "", "directory for CSV output")
-		paper  = flag.Bool("paper", false, "use the paper's exact sizes where implemented (very slow)")
+		fig        = flag.String("fig", "", "figure to regenerate: 1, 5, 7a, 7b, 8 (empty = all)")
+		exp        = flag.String("exp", "", "extra experiment: theta-ratio, residuals, speedup-model, ablations, phases")
+		csvDir     = flag.String("csv", "", "directory for CSV output")
+		jsonDir    = flag.String("json", "", "directory for telemetry snapshot JSON output")
+		paper      = flag.Bool("paper", false, "use the paper's exact sizes where implemented (very slow)")
+		labels     = flag.Bool("pproflabels", false, "label profile samples with telemetry phase names")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 	)
 	flag.Parse()
+
+	telemetry.SetPprofLabels(*labels)
+	if *cpuprofile != "" {
+		pf, err := os.Create(*cpuprofile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pprof.StartCPUProfile(pf); err != nil {
+			log.Fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	emitJSON := func(name string, s telemetry.Snapshot) {
+		if *jsonDir == "" {
+			return
+		}
+		if err := os.MkdirAll(*jsonDir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+		fpath := filepath.Join(*jsonDir, name+".json")
+		jf, err := os.Create(fpath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := s.WriteJSON(jf); err != nil {
+			log.Fatal(err)
+		}
+		if err := jf.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n\n", fpath)
+	}
 
 	emit := func(name string, tb *experiments.Table) {
 		tb.Fprint(os.Stdout)
@@ -62,11 +102,20 @@ func main() {
 	}
 	if want("5") {
 		cfg := experiments.DefaultFig5()
-		points, tb := experiments.Fig5Executed(cfg)
+		points, tb, ptb := experiments.Fig5Executed(cfg)
 		emit("fig5_executed", tb)
+		emit("fig5_phases", ptb)
+		if len(points) > 0 {
+			emitJSON("fig5_telemetry", points[len(points)-1].Telemetry)
+		}
 		fit := experiments.FitBranches(points)
 		_, tbm := experiments.Fig5Model(cfg, fit)
 		emit("fig5_model", tbm)
+	}
+	if want("phases") || all {
+		snap, tb := experiments.SpaceTimePhases(experiments.DefaultPhases())
+		emit("spacetime_phases", tb)
+		emitJSON("spacetime_phases", snap)
 	}
 	fig7cfg := experiments.DefaultFig7()
 	if *paper {

@@ -1,0 +1,83 @@
+package nbody
+
+// Determinism regression: the space-time solver must be bitwise
+// reproducible run-to-run for a fixed configuration. The in-process
+// MPI delivers messages per (source, tag) in send order and the
+// synchronous traversal keeps floating-point summation order fixed, so
+// two identical runs must produce identical particle states — and the
+// telemetry must agree on the work done (interaction counts).
+
+import (
+	"testing"
+)
+
+func runOnce(t *testing.T, pt, ps int) (*System, SpaceTimeStats) {
+	t.Helper()
+	cfg := DefaultSpaceTime(pt, ps)
+	cfg.Telemetry = true
+	sys := RandomBlob(64, 0.2, 42)
+	out, stats, err := RunSpaceTime(cfg, sys, 0, 0.2, 4)
+	if err != nil {
+		t.Fatalf("PT=%d PS=%d: %v", pt, ps, err)
+	}
+	return out, stats
+}
+
+func TestSpaceTimeDeterminism(t *testing.T) {
+	for _, dims := range [][2]int{{1, 1}, {2, 2}, {4, 2}} {
+		pt, ps := dims[0], dims[1]
+		a, sa := runOnce(t, pt, ps)
+		b, sb := runOnce(t, pt, ps)
+		if a.N() != b.N() {
+			t.Fatalf("PT=%d PS=%d: particle counts differ", pt, ps)
+		}
+		for i := range a.Particles {
+			// Bitwise equality, not a tolerance: any drift means the
+			// run picked up a source of nondeterminism (map iteration,
+			// goroutine scheduling leaking into summation order, ...).
+			if a.Particles[i] != b.Particles[i] {
+				t.Fatalf("PT=%d PS=%d: particle %d differs between identical runs:\n%+v\nvs\n%+v",
+					pt, ps, i, a.Particles[i], b.Particles[i])
+			}
+		}
+		if sa.Run == nil || sb.Run == nil {
+			t.Fatalf("PT=%d PS=%d: telemetry snapshot missing", pt, ps)
+		}
+		for _, counter := range []string{
+			"hot.interactions", "hot.mac_accepts", "hot.mac_rejects",
+			"pfasst.fine_sweeps", "pfasst.coarse_sweeps", "mpi.sends",
+		} {
+			ca, cb := sa.Run.Counter(counter), sb.Run.Counter(counter)
+			if ca != cb {
+				t.Errorf("PT=%d PS=%d: %s differs between identical runs: %d vs %d",
+					pt, ps, counter, ca, cb)
+			}
+			if ca == 0 && counter == "hot.interactions" {
+				t.Errorf("PT=%d PS=%d: no interactions recorded", pt, ps)
+			}
+		}
+		if sa.LastSliceResidual != sb.LastSliceResidual {
+			t.Errorf("PT=%d PS=%d: residuals differ: %g vs %g",
+				pt, ps, sa.LastSliceResidual, sb.LastSliceResidual)
+		}
+	}
+}
+
+func TestSpaceTimeDeterminismModeled(t *testing.T) {
+	// The virtual-clock path must be deterministic too: identical
+	// modeled runs report the same modeled seconds to the bit.
+	cfg := DefaultSpaceTime(2, 2)
+	cfg.Modeled = true
+	sys := RandomBlob(48, 0.2, 7)
+	_, sa, err := RunSpaceTime(cfg, sys, 0, 0.2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, sb, err := RunSpaceTime(cfg, sys, 0, 0.2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sa.ModeledSeconds != sb.ModeledSeconds {
+		t.Fatalf("modeled seconds differ: %v vs %v", sa.ModeledSeconds, sb.ModeledSeconds)
+	}
+}

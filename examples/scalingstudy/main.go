@@ -18,8 +18,9 @@ func main() {
 	cfg := experiments.DefaultFig5()
 
 	fmt.Println("Executing the parallel tree (Coulomb discipline) on in-process ranks...")
-	points, tb := experiments.Fig5Executed(cfg)
+	points, tb, ptb := experiments.Fig5Executed(cfg)
 	tb.Fprint(os.Stdout)
+	ptb.Fprint(os.Stdout)
 
 	fit := experiments.FitBranches(points)
 	fmt.Printf("branch-node growth fit: B(P) = %.2f * P^%.2f\n\n", fit.A, fit.Exp)

@@ -25,6 +25,7 @@ import (
 	"repro/internal/particle"
 	"repro/internal/pfasst"
 	"repro/internal/sdc"
+	"repro/internal/telemetry"
 	"repro/internal/vec"
 )
 
@@ -81,6 +82,9 @@ type DistVortexSystem struct {
 	Evals int64
 	// Interactions accumulates this rank's interaction counts.
 	Interactions int64
+
+	// telemetry handles (nil = off), set by Instrument.
+	telEvals, telInter *telemetry.Counter
 }
 
 // NewDistVortexSystem returns the distributed ODE view for the rank's
@@ -95,6 +99,15 @@ func NewDistVortexSystem(local *particle.System, solver *hot.Solver) *DistVortex
 	}
 }
 
+// Instrument routes the system's evaluation counters to the registry
+// under the names "core.evals.levelL" / "core.interactions.levelL",
+// separating the fine and coarse force-evaluation work per time slice
+// (the hot.* counters aggregate over all levels of the rank).
+func (d *DistVortexSystem) Instrument(reg *telemetry.Registry, level int) {
+	d.telEvals = reg.Counter(fmt.Sprintf("core.evals.level%d", level))
+	d.telInter = reg.Counter(fmt.Sprintf("core.interactions.level%d", level))
+}
+
 // Dim implements ode.System.
 func (d *DistVortexSystem) Dim() int { return d.local.StateLen() }
 
@@ -104,6 +117,8 @@ func (d *DistVortexSystem) F(t float64, u, f []float64) {
 	d.solver.Eval(d.work, d.vel, d.str)
 	d.Evals++
 	d.Interactions += d.solver.Last.Interactions
+	d.telEvals.Inc()
+	d.telInter.Add(d.solver.Last.Interactions)
 	for i := range d.vel {
 		o := 6 * i
 		f[o+0], f[o+1], f[o+2] = d.vel[i].X, d.vel[i].Y, d.vel[i].Z
@@ -144,6 +159,11 @@ type Config struct {
 	Threads int
 	// Model, when non-nil, drives the virtual clocks.
 	Model *machine.CostModel
+	// Tel, when non-nil, collects this world rank's telemetry (tree
+	// phases, message counts, sweep counts, per-level evaluation
+	// counters). Each rank needs its own registry; merge the Snapshots
+	// afterwards.
+	Tel *telemetry.Registry
 }
 
 // Default returns the paper's configuration PFASST(2,2,·) with
@@ -212,8 +232,10 @@ func RunSpaceTime(world *mpi.Comm, cfg Config, full *particle.System, t0, t1 flo
 		solver := hot.New(spaceComm, hot.Config{
 			Sm: cfg.Sm, Scheme: cfg.Scheme, Theta: l.Theta,
 			LeafCap: cfg.LeafCap, Dipole: cfg.Dipole, Model: cfg.Model, Threads: cfg.Threads,
+			Tel: cfg.Tel,
 		})
 		systems[i] = NewDistVortexSystem(local, solver)
+		systems[i].Instrument(cfg.Tel, i)
 		specs[i] = pfasst.LevelSpec{Sys: systems[i], NNodes: l.NNodes}
 	}
 	fineSys := systems[0]
@@ -224,6 +246,7 @@ func RunSpaceTime(world *mpi.Comm, cfg Config, full *particle.System, t0, t1 flo
 		Iterations:   cfg.Iterations,
 		CoarseSweeps: cfg.CoarseSweeps,
 		Tol:          cfg.Tol,
+		Tel:          cfg.Tel,
 	}
 	u0 := local.PackNew()
 	pres, err := pfasst.Run(timeComm, pcfg, t0, t1, nsteps, u0)
@@ -254,8 +277,10 @@ func RunSpaceSerialSDC(spaceComm *mpi.Comm, cfg Config, local *particle.System,
 	solver := hot.New(spaceComm, hot.Config{
 		Sm: cfg.Sm, Scheme: cfg.Scheme, Theta: cfg.ThetaFine,
 		LeafCap: cfg.LeafCap, Dipole: cfg.Dipole, Model: cfg.Model, Threads: cfg.Threads,
+		Tel: cfg.Tel,
 	})
 	sys := NewDistVortexSystem(local, solver)
+	sys.Instrument(cfg.Tel, 0)
 	in := sdc.NewIntegrator(sys, nnodes, sweeps)
 	u := local.PackNew()
 	residuals := make([]float64, 0, nsteps)

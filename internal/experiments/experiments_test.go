@@ -116,9 +116,12 @@ func TestFig5ExecutedShape(t *testing.T) {
 	cfg := Fig5Config{
 		NExec: 2048, ExecRanks: []int{1, 2, 4, 8}, Theta: 0.6, Eps: 0.01, Seed: 3,
 	}
-	points, tb := Fig5Executed(cfg)
+	points, tb, ptb := Fig5Executed(cfg)
 	if len(points) != 4 {
 		t.Fatalf("%d points", len(points))
+	}
+	if len(ptb.Rows) != 4 {
+		t.Fatal("phases table shape wrong")
 	}
 	// Traversal time must shrink with more ranks; branch count must
 	// grow.

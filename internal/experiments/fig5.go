@@ -2,12 +2,14 @@ package experiments
 
 import (
 	"math"
+	"sync"
 
 	"repro/internal/hot"
 	"repro/internal/kernel"
 	"repro/internal/machine"
 	"repro/internal/mpi"
 	"repro/internal/particle"
+	"repro/internal/telemetry"
 	"repro/internal/vec"
 )
 
@@ -54,22 +56,30 @@ type Fig5ExecPoint struct {
 	VTTotal, VTDecomp, VTBuild, VTBranch, VTTraverse float64
 	TotalBranches                                    int
 	Interactions                                     int64
+	// Telemetry is the merged per-rank metric snapshot of this run:
+	// counters summed over ranks, phase timer maxima = the parallel
+	// phase times (each rank records exactly one span per phase here).
+	Telemetry telemetry.Snapshot
 }
 
 // Fig5Executed runs the parallel tree for real at each rank count and
-// reports modeled per-phase wall-clock times.
-func Fig5Executed(cfg Fig5Config) ([]Fig5ExecPoint, *Table) {
+// reports modeled per-phase wall-clock times. The second table breaks
+// the same runs down by telemetry phase and work counters.
+func Fig5Executed(cfg Fig5Config) ([]Fig5ExecPoint, *Table, *Table) {
 	full := particle.HomogeneousCoulomb(cfg.NExec, cfg.Seed)
 	model := machine.BlueGeneP()
 	var points []Fig5ExecPoint
 	for _, p := range cfg.ExecRanks {
 		var pt Fig5ExecPoint
 		pt.Ranks = p
+		var mu sync.Mutex
 		vt, err := mpi.RunTimed(p, mpi.BlueGeneP(), func(c *mpi.Comm) error {
+			reg := telemetry.New()
 			local := hot.BlockPartition(full, c.Rank(), p)
 			s := hot.New(c, hot.Config{
 				Sm: kernel.Algebraic2(), Scheme: kernel.Transpose,
 				Theta: cfg.Theta, Eps: cfg.Eps, Model: &model,
+				Tel: reg,
 			})
 			pot := make([]float64, local.N())
 			ef := make([]vec.Vec3, local.N())
@@ -86,6 +96,9 @@ func Fig5Executed(cfg Fig5Config) ([]Fig5ExecPoint, *Table) {
 				pt.Interactions = inter[0]
 			}
 			c.Barrier()
+			mu.Lock()
+			pt.Telemetry.Merge(reg.Snapshot())
+			mu.Unlock()
 			return nil
 		})
 		if err != nil {
@@ -107,7 +120,28 @@ func Fig5Executed(cfg Fig5Config) ([]Fig5ExecPoint, *Table) {
 	}
 	tb.AddNote("N=%d homogeneous neutral Coulomb cloud, theta=%g", cfg.NExec, cfg.Theta)
 	tb.AddNote("expected shape: traversal shrinks ~1/P; branch exchange grows with P")
-	return points, tb
+
+	ptb := &Table{
+		Title: "Fig. 5 (telemetry) — per-phase breakdown from merged rank snapshots",
+		Header: []string{"ranks", "build(s)", "branch_xchg(s)", "traversal(s)",
+			"mac_accepts", "mac_rejects", "p2p", "fetches", "msgs", "sent_bytes"},
+	}
+	for _, p := range points {
+		s := p.Telemetry
+		ptb.AddRow(f("%d", p.Ranks),
+			f("%.4f", s.Timer(hot.PhaseBuild).Max),
+			f("%.4f", s.Timer(hot.PhaseBranch).Max),
+			f("%.4f", s.Timer(hot.PhaseTraverse).Max),
+			f("%d", s.Counter(hot.CounterMACAccepts)),
+			f("%d", s.Counter(hot.CounterMACRejects)),
+			f("%d", s.Counter(hot.CounterP2P)),
+			f("%d", s.Counter(hot.CounterFetches)),
+			f("%d", s.Counter(mpi.CounterSends)),
+			f("%d", s.Counter(mpi.CounterSendBytes)))
+	}
+	ptb.AddNote("phase times are per-rank maxima (one span per rank) on the virtual clock;")
+	ptb.AddNote("counters sum over ranks; p2p = interactions - mac_accepts")
+	return points, tb, ptb
 }
 
 // BranchFit is a power-law fit B(P) = A·P^B of the branch-node count.

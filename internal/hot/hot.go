@@ -36,6 +36,7 @@ import (
 	"repro/internal/machine"
 	"repro/internal/mpi"
 	"repro/internal/particle"
+	"repro/internal/telemetry"
 	"repro/internal/tree"
 	"repro/internal/vec"
 )
@@ -80,6 +81,11 @@ type Config struct {
 	// computation and communication overlap. Values ≤ 1 select the
 	// synchronous single-threaded path.
 	Threads int
+	// Tel, when non-nil, receives this rank's per-phase timings and
+	// work counters (see probe.go for the metric names). The registry
+	// must be private to the rank; merge Snapshots across ranks
+	// afterwards. A nil registry costs nothing on the hot path.
+	Tel *telemetry.Registry
 }
 
 // Stats describes the work of the most recent evaluation on this rank.
@@ -90,11 +96,17 @@ type Stats struct {
 	Interactions  int64 // MAC-accepted cells + direct particle pairs
 	Fetches       int64 // remote cell fetch requests issued
 
+	// MACAccepts and MACRejects split the traversal decisions: cells
+	// accepted as single interaction partners vs cells the MAC opened.
+	// The direct particle-pair share is Interactions − MACAccepts.
+	MACAccepts, MACRejects int64
+
 	// WorkImbalance is max(rank work)/mean(rank work) for this
 	// evaluation (1 = perfectly balanced).
 	WorkImbalance float64
 
-	// Modeled phase durations (virtual seconds; zero without Model).
+	// Per-phase durations: virtual seconds when a Model drives the
+	// rank clocks, host wall-clock seconds otherwise.
 	TDecomp, TBuild, TBranch, TTraverse float64
 }
 
@@ -106,6 +118,11 @@ type Solver struct {
 	// Last holds the statistics of the most recent evaluation.
 	Last Stats
 
+	// probe holds the pre-resolved telemetry handles (all nil without
+	// cfg.Tel) and meter attributes modeled compute charges per phase.
+	probe probe
+	meter *machine.Meter
+
 	// workWeights holds, per origin-local particle, the interaction
 	// count of the previous evaluation (WeightedBalance only).
 	workWeights []float64
@@ -116,7 +133,14 @@ func New(comm *mpi.Comm, cfg Config) *Solver {
 	if cfg.LeafCap < 1 {
 		cfg.LeafCap = 8
 	}
-	return &Solver{comm: comm, cfg: cfg}
+	s := &Solver{comm: comm, cfg: cfg, probe: newProbe(cfg.Tel)}
+	if cfg.Model != nil {
+		s.meter = machine.NewMeter(*cfg.Model, cfg.Tel)
+	}
+	if cfg.Tel != nil {
+		comm.AttachTelemetry(cfg.Tel)
+	}
+	return s
 }
 
 // BlockPartition returns rank's contiguous share of the full system;
@@ -160,6 +184,11 @@ type gcell struct {
 	parts    []particle.Particle // inline particles of remote leaves
 }
 
+// travCounts aggregates the traversal counters of a target range.
+type travCounts struct {
+	inter, accepts, rejects int64
+}
+
 // evalRT is the per-evaluation runtime state of a rank.
 type evalRT struct {
 	s     *Solver
@@ -191,7 +220,15 @@ func (s *Solver) run(sys *particle.System, disc tree.Discipline, vel, stretch []
 	s.Last = Stats{}
 	st := &s.Last
 
-	t0 := comm.Now()
+	// Phase clock: the virtual rank clock when a cost model drives it,
+	// host wall-clock otherwise (so unmodeled runs still get a
+	// meaningful per-phase breakdown).
+	clock := comm.Now
+	if s.cfg.Model == nil {
+		clock = telemetry.Wall
+	}
+	t0 := clock()
+	telemetry.LabelPhase(PhaseDecomp)
 
 	// Phase 1: global domain.
 	lo, hi := sys.Bounds()
@@ -212,8 +249,8 @@ func (s *Solver) run(sys *particle.System, disc tree.Discipline, vel, stretch []
 	}
 	sort.Slice(order, func(a, b int) bool { return keys[order[a]] < keys[order[b]] })
 	nGlobal := comm.AllreduceInt64([]int64{int64(sys.N())}, mpi.OpSum)[0]
-	if s.cfg.Model != nil && sys.N() > 0 {
-		comm.Advance(s.cfg.Model.SortPerKey * float64(sys.N()) * math.Log2(float64(nGlobal)+2))
+	if s.meter != nil && sys.N() > 0 {
+		comm.Advance(s.meter.Sort(sys.N(), nGlobal))
 	}
 	weightOf := func(i int) float64 {
 		if !s.cfg.WeightedBalance || len(s.workWeights) != sys.N() || s.workWeights[i] <= 0 {
@@ -246,8 +283,10 @@ func (s *Solver) run(sys *particle.System, disc tree.Discipline, vel, stretch []
 		}
 	}
 	st.NLocal = local.N()
-	t1 := comm.Now()
+	t1 := clock()
 	st.TDecomp = t1 - t0
+	s.probe.decomp.Observe(st.TDecomp)
+	telemetry.LabelPhase(PhaseBuild)
 
 	// Phase 3: local tree.
 	rt := &evalRT{
@@ -268,12 +307,14 @@ func (s *Solver) run(sys *particle.System, disc tree.Discipline, vel, stretch []
 			Domain:     &dom,
 			OwnedLo:    myLo, OwnedHi: myHi, OwnedSet: true,
 		})
-		if s.cfg.Model != nil {
-			comm.Advance(s.cfg.Model.TreeBuildPerParticle * float64(local.N()))
+		if s.meter != nil {
+			comm.Advance(s.meter.TreeBuild(local.N()))
 		}
 	}
-	t2 := comm.Now()
+	t2 := clock()
 	st.TBuild = t2 - t1
+	s.probe.build.Observe(st.TBuild)
+	telemetry.LabelPhase(PhaseBranch)
 
 	// Phase 4: branch exchange and shared top tree.
 	var myBranches []int
@@ -285,8 +326,8 @@ func (s *Solver) run(sys *particle.System, disc tree.Discipline, vel, stretch []
 	for _, idx := range myBranches {
 		packed = encodeCell(packed, &rt.ltree.Nodes[idx], disc)
 	}
-	if s.cfg.Model != nil {
-		comm.Advance(s.cfg.Model.BranchPerNode * float64(len(myBranches)))
+	if s.meter != nil {
+		comm.Advance(s.meter.Branches(len(myBranches)))
 	}
 	allBranches := comm.Allgather(packed)
 	total := 0
@@ -298,12 +339,14 @@ func (s *Solver) run(sys *particle.System, disc tree.Discipline, vel, stretch []
 		}
 	}
 	st.TotalBranches = total
-	if s.cfg.Model != nil {
-		comm.Advance(s.cfg.Model.BranchPerNode * float64(total))
+	if s.meter != nil {
+		comm.Advance(s.meter.Branches(total))
 	}
 	rt.buildTop()
-	t3 := comm.Now()
+	t3 := clock()
 	st.TBranch = t3 - t2
+	s.probe.branch.Observe(st.TBranch)
+	telemetry.LabelPhase(PhaseTraverse)
 
 	// Phase 5: traversal with on-demand remote fetch — synchronous or
 	// hybrid (worker goroutines + communication goroutine).
@@ -312,40 +355,49 @@ func (s *Solver) run(sys *particle.System, disc tree.Discipline, vel, stretch []
 	outPot := make([]float64, local.N())
 	outE := make([]vec.Vec3, local.N())
 	workPer := make([]float64, local.N())
-	traverseRange := func(lo, hi int, advanceDiv float64) int64 {
-		var inter int64
+	traverseRange := func(lo, hi int, advanceDiv float64) travCounts {
+		var tc travCounts
 		for q := lo; q < hi; q++ {
 			switch disc {
 			case tree.Vortex:
 				res := rt.vortexAt(local.Particles[q].Pos, q)
 				outVel[q] = res.U
 				outStr[q] = s.cfg.Scheme.Stretch(res.Grad, local.Particles[q].Alpha)
-				inter += res.Interactions
+				tc.inter += res.Interactions
+				tc.accepts += res.CellAccepts
+				tc.rejects += res.Rejects
 				workPer[q] = float64(res.Interactions)
-				if s.cfg.Model != nil {
-					comm.Advance(s.cfg.Model.VortexInteraction * float64(res.Interactions) / advanceDiv)
+				if s.meter != nil {
+					comm.Advance(s.meter.Vortex(res.Interactions, advanceDiv))
 				}
 			case tree.Coulomb:
 				res := rt.coulombAt(local.Particles[q].Pos, q)
 				outPot[q] = res.Phi
 				outE[q] = res.E
-				inter += res.Interactions
+				tc.inter += res.Interactions
+				tc.accepts += res.CellAccepts
+				tc.rejects += res.Rejects
 				workPer[q] = float64(res.Interactions)
-				if s.cfg.Model != nil {
-					comm.Advance(s.cfg.Model.CoulombInteraction * float64(res.Interactions) / advanceDiv)
+				if s.meter != nil {
+					comm.Advance(s.meter.Coulomb(res.Interactions, advanceDiv))
 				}
 			}
 		}
-		return inter
+		return tc
 	}
 	if rt.hybrid {
 		rt.traverseHybrid(traverseRange)
 	} else {
-		st.Interactions += traverseRange(0, local.N(), 1)
+		tc := traverseRange(0, local.N(), 1)
+		st.Interactions += tc.inter
+		st.MACAccepts += tc.accepts
+		st.MACRejects += tc.rejects
 		rt.finish()
 	}
 	st.Fetches += rt.fetches.Load()
-	st.TTraverse = comm.Now() - t3
+	st.TTraverse = clock() - t3
+	s.probe.traverse.Observe(st.TTraverse)
+	telemetry.ClearPhaseLabel()
 
 	// Work-imbalance diagnostic: max over ranks vs mean.
 	localWork := 0.0
@@ -357,6 +409,7 @@ func (s *Solver) run(sys *particle.System, disc tree.Discipline, vel, stretch []
 	if mean := wred[0] / float64(p); mean > 0 {
 		st.WorkImbalance = wmax[0] / mean
 	}
+	s.probe.record(st)
 
 	// Phase 6: route results (and per-particle work, for the next
 	// evaluation's weighted decomposition) back to the original owners.
@@ -618,7 +671,7 @@ func (rt *evalRT) vortexAt(x vec.Vec3, skipLocal int) tree.VortexResult {
 			sub := rt.ltree.VortexAtNode(idx, x, theta, skipLocal, rt.pw, rt.s.cfg.Dipole)
 			res.U = res.U.Add(sub.U)
 			res.Grad = res.Grad.Add(sub.Grad)
-			res.Interactions += sub.Interactions
+			res.AddCounts(&sub)
 			continue
 		}
 		r := x.Sub(g.nd.Centroid)
@@ -631,6 +684,7 @@ func (rt *evalRT) vortexAt(x vec.Vec3, skipLocal int) tree.VortexResult {
 				res.U = res.U.Add(tree.DipoleVelocity(r, g.nd.Dipole))
 			}
 			res.Interactions++
+			res.CellAccepts++
 			continue
 		}
 		if g.nd.Leaf {
@@ -647,6 +701,7 @@ func (rt *evalRT) vortexAt(x vec.Vec3, skipLocal int) tree.VortexResult {
 			}
 			continue
 		}
+		res.Rejects++
 		children := rt.cellChildren(g)
 		if children == nil {
 			rt.fetch(g)
@@ -678,7 +733,7 @@ func (rt *evalRT) coulombAt(x vec.Vec3, skipLocal int) tree.CoulombResult {
 			sub := rt.ltree.CoulombAtNode(idx, x, theta, eps, skipLocal)
 			res.Phi += sub.Phi
 			res.E = res.E.Add(sub.E)
-			res.Interactions += sub.Interactions
+			res.AddCounts(&sub)
 			continue
 		}
 		r := x.Sub(g.nd.Centroid)
@@ -688,6 +743,7 @@ func (rt *evalRT) coulombAt(x vec.Vec3, skipLocal int) tree.CoulombResult {
 			res.Phi += phi
 			res.E = res.E.Add(e)
 			res.Interactions++
+			res.CellAccepts++
 			continue
 		}
 		if g.nd.Leaf {
@@ -704,6 +760,7 @@ func (rt *evalRT) coulombAt(x vec.Vec3, skipLocal int) tree.CoulombResult {
 			}
 			continue
 		}
+		res.Rejects++
 		children := rt.cellChildren(g)
 		if children == nil {
 			rt.fetch(g)
@@ -890,7 +947,7 @@ func (rt *evalRT) hybridFetch(g *gcell) {
 // rank 0 to itself — and rank 0 broadcasts SHUTDOWN once all have
 // finished). The modeled compute time is divided by the worker count:
 // the node's cores traverse concurrently.
-func (rt *evalRT) traverseHybrid(traverseRange func(lo, hi int, advanceDiv float64) int64) {
+func (rt *evalRT) traverseHybrid(traverseRange func(lo, hi int, advanceDiv float64) travCounts) {
 	p := rt.comm.Size()
 	commDone := make(chan struct{})
 	if p > 1 {
@@ -904,7 +961,7 @@ func (rt *evalRT) traverseHybrid(traverseRange func(lo, hi int, advanceDiv float
 	if workers > n && n > 0 {
 		workers = n
 	}
-	var inter atomic.Int64
+	var inter, accepts, rejects atomic.Int64
 	var wg sync.WaitGroup
 	chunk := (n + workers - 1) / workers
 	if chunk < 1 {
@@ -918,11 +975,16 @@ func (rt *evalRT) traverseHybrid(traverseRange func(lo, hi int, advanceDiv float
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
-			inter.Add(traverseRange(lo, hi, float64(workers)))
+			tc := traverseRange(lo, hi, float64(workers))
+			inter.Add(tc.inter)
+			accepts.Add(tc.accepts)
+			rejects.Add(tc.rejects)
 		}(lo, hi)
 	}
 	wg.Wait()
 	rt.stats.Interactions += inter.Load()
+	rt.stats.MACAccepts += accepts.Load()
+	rt.stats.MACRejects += rejects.Load()
 	if p > 1 {
 		rt.comm.Send(0, tagDone, nil)
 		<-commDone

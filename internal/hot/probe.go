@@ -1,0 +1,71 @@
+package hot
+
+import (
+	"repro/internal/telemetry"
+)
+
+// Telemetry names of the parallel tree code. The four phase timers
+// mirror the per-phase columns of the paper's Fig. 5 timing tables;
+// the counters are the diagnostic set of Valdarnini's and Dubinski's
+// treecode performance studies (interactions per rank, MAC balance,
+// communication volume, load imbalance).
+const (
+	PhaseDecomp   = "hot.decomp"          // domain decomposition (sort + alltoall)
+	PhaseBuild    = "hot.tree_build"      // local tree construction
+	PhaseBranch   = "hot.branch_exchange" // branch allgather + shared top tree
+	PhaseTraverse = "hot.traverse"        // tree traversal incl. remote fetches
+
+	CounterEvals        = "hot.evals"
+	CounterInteractions = "hot.interactions"
+	CounterMACAccepts   = "hot.mac_accepts"
+	CounterMACRejects   = "hot.mac_rejects"
+	CounterP2P          = "hot.p2p"
+	CounterFetches      = "hot.fetches"
+
+	GaugeNLocal        = "hot.nlocal"
+	GaugeBranchesTotal = "hot.branches_total"
+	GaugeImbalance     = "hot.work_imbalance"
+)
+
+// probe holds the solver's pre-resolved metric handles. With a nil
+// registry every handle is nil and each record call is a no-op — the
+// zero-allocation disabled path.
+type probe struct {
+	decomp, build, branch, traverse *telemetry.Timer
+
+	evals, interactions, macAccepts, macRejects, p2p, fetches *telemetry.Counter
+
+	nlocal, branchesTotal, imbalance *telemetry.Gauge
+}
+
+func newProbe(reg *telemetry.Registry) probe {
+	return probe{
+		decomp:        reg.Timer(PhaseDecomp),
+		build:         reg.Timer(PhaseBuild),
+		branch:        reg.Timer(PhaseBranch),
+		traverse:      reg.Timer(PhaseTraverse),
+		evals:         reg.Counter(CounterEvals),
+		interactions:  reg.Counter(CounterInteractions),
+		macAccepts:    reg.Counter(CounterMACAccepts),
+		macRejects:    reg.Counter(CounterMACRejects),
+		p2p:           reg.Counter(CounterP2P),
+		fetches:       reg.Counter(CounterFetches),
+		nlocal:        reg.Gauge(GaugeNLocal),
+		branchesTotal: reg.Gauge(GaugeBranchesTotal),
+		imbalance:     reg.Gauge(GaugeImbalance),
+	}
+}
+
+// record publishes the per-evaluation statistics. The phase timers are
+// recorded separately (at phase boundaries inside run).
+func (pb *probe) record(st *Stats) {
+	pb.evals.Inc()
+	pb.interactions.Add(st.Interactions)
+	pb.macAccepts.Add(st.MACAccepts)
+	pb.macRejects.Add(st.MACRejects)
+	pb.p2p.Add(st.Interactions - st.MACAccepts)
+	pb.fetches.Add(st.Fetches)
+	pb.nlocal.Set(float64(st.NLocal))
+	pb.branchesTotal.Set(float64(st.TotalBranches))
+	pb.imbalance.Set(st.WorkImbalance)
+}

@@ -1,0 +1,99 @@
+package machine
+
+import (
+	"math"
+
+	"repro/internal/telemetry"
+)
+
+// Telemetry names of the modeled-clock attribution timers. Their
+// totals hold modeled compute seconds charged to each phase of the
+// cost model — the "where did the virtual clock go" breakdown that
+// complements the wall/virtual phase spans of the solver layers.
+const (
+	PhaseSort      = "machine.sort"
+	PhaseTreeBuild = "machine.tree_build"
+	PhaseBranch    = "machine.branch"
+	PhaseInteract  = "machine.interact"
+)
+
+// Meter charges modeled compute time against a cost model and
+// attributes every charged second to a per-phase telemetry timer. It
+// centralizes the charge formulas of the parallel tree code (package
+// hot) so that modeled runs and their telemetry cannot drift apart.
+//
+// A Meter constructed with a nil registry still computes charges but
+// records nothing; a nil *Meter returns zero charges (no model).
+type Meter struct {
+	model CostModel
+
+	sort, build, branch, interact *telemetry.Timer
+}
+
+// NewMeter returns a meter for the given cost model, attributing
+// charges to reg (which may be nil to disable attribution).
+func NewMeter(model CostModel, reg *telemetry.Registry) *Meter {
+	return &Meter{
+		model:    model,
+		sort:     reg.Timer(PhaseSort),
+		build:    reg.Timer(PhaseTreeBuild),
+		branch:   reg.Timer(PhaseBranch),
+		interact: reg.Timer(PhaseInteract),
+	}
+}
+
+// Sort returns (and attributes) the modeled cost of the domain
+// decomposition's key sort: nLocal keys against a global ensemble of
+// nGlobal particles.
+func (m *Meter) Sort(nLocal int, nGlobal int64) float64 {
+	if m == nil || nLocal == 0 {
+		return 0
+	}
+	s := m.model.SortPerKey * float64(nLocal) * math.Log2(float64(nGlobal)+2)
+	m.sort.Observe(s)
+	return s
+}
+
+// TreeBuild returns the modeled cost of building the local tree over n
+// particles.
+func (m *Meter) TreeBuild(n int) float64 {
+	if m == nil {
+		return 0
+	}
+	s := m.model.TreeBuildPerParticle * float64(n)
+	m.build.Observe(s)
+	return s
+}
+
+// Branches returns the modeled cost of packing or unpacking n branch
+// nodes during the exchange.
+func (m *Meter) Branches(n int) float64 {
+	if m == nil {
+		return 0
+	}
+	s := m.model.BranchPerNode * float64(n)
+	m.branch.Observe(s)
+	return s
+}
+
+// Vortex returns the modeled cost of k vortex interactions divided
+// over `workers` concurrent traversal threads (the hybrid mode charges
+// each worker 1/workers of the serial cost).
+func (m *Meter) Vortex(k int64, workers float64) float64 {
+	if m == nil {
+		return 0
+	}
+	s := m.model.VortexInteraction * float64(k) / workers
+	m.interact.Observe(s)
+	return s
+}
+
+// Coulomb is Vortex for the Coulomb discipline.
+func (m *Meter) Coulomb(k int64, workers float64) float64 {
+	if m == nil {
+		return 0
+	}
+	s := m.model.CoulombInteraction * float64(k) / workers
+	m.interact.Observe(s)
+	return s
+}

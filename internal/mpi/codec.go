@@ -2,6 +2,7 @@ package mpi
 
 import (
 	"encoding/binary"
+	"fmt"
 	"math"
 )
 
@@ -112,17 +113,45 @@ func encodeBlocks(blocks map[int][]byte) []byte {
 	return out
 }
 
-// decodeBlocks reverses encodeBlocks.
+// decodeBlocks reverses encodeBlocks. Frames only travel between
+// in-process ranks, so a malformed one is an internal bug — but the
+// decoder still validates every bound (see decodeBlocksChecked) so a
+// corrupted frame reports what went wrong instead of slicing out of
+// range or pre-allocating an attacker-sized map.
 func decodeBlocks(raw []byte) map[int][]byte {
-	n := binary.LittleEndian.Uint64(raw)
-	raw = raw[8:]
-	out := make(map[int][]byte, n)
-	for i := uint64(0); i < n; i++ {
-		k := int(binary.LittleEndian.Uint64(raw))
-		l := int(binary.LittleEndian.Uint64(raw[8:]))
-		raw = raw[16:]
-		out[k] = raw[:l:l]
-		raw = raw[l:]
+	out, err := decodeBlocksChecked(raw)
+	if err != nil {
+		panic(fmt.Sprintf("mpi: malformed gather frame: %v", err))
 	}
 	return out
+}
+
+// decodeBlocksChecked decodes a gather frame with full bounds
+// checking: the claimed block count must fit the payload (so the map
+// pre-allocation is bounded by the frame size) and every block header
+// and body must lie inside the buffer.
+func decodeBlocksChecked(raw []byte) (map[int][]byte, error) {
+	if len(raw) < 8 {
+		return nil, fmt.Errorf("frame too short for count header: %d bytes", len(raw))
+	}
+	n := binary.LittleEndian.Uint64(raw)
+	raw = raw[8:]
+	if n > uint64(len(raw))/16 {
+		return nil, fmt.Errorf("claimed %d blocks exceeds %d payload bytes", n, len(raw))
+	}
+	out := make(map[int][]byte, n)
+	for i := uint64(0); i < n; i++ {
+		if len(raw) < 16 {
+			return nil, fmt.Errorf("block %d: truncated header (%d bytes left)", i, len(raw))
+		}
+		k := binary.LittleEndian.Uint64(raw)
+		l := binary.LittleEndian.Uint64(raw[8:])
+		raw = raw[16:]
+		if l > uint64(len(raw)) {
+			return nil, fmt.Errorf("block %d: length %d exceeds %d remaining bytes", i, l, len(raw))
+		}
+		out[int(k)] = raw[:l:l]
+		raw = raw[l:]
+	}
+	return out, nil
 }

@@ -69,7 +69,8 @@ type world struct {
 	tm     TimeModel
 	vt     []float64 // virtual clock per world rank
 	boxes  []*mailbox
-	allBox func() // broadcast all conds (set in newWorld)
+	tel    []*commProbe // telemetry probe per world rank (nil = off)
+	allBox func()       // broadcast all conds (set in newWorld)
 
 	// Deadlock detection: every send increments epoch; a rank that
 	// scans its mailbox without a match registers in waiting with the
@@ -85,6 +86,7 @@ func newWorld(size int, timed bool, tm TimeModel) *world {
 	w := &world{size: size, live: size, timed: timed, tm: tm,
 		waiting: make(map[int]uint64)}
 	w.vt = make([]float64, size)
+	w.tel = make([]*commProbe, size)
 	w.boxes = make([]*mailbox, size)
 	for i := range w.boxes {
 		w.boxes[i] = &mailbox{}
@@ -241,6 +243,10 @@ func (c *Comm) send(dst, tag int, data []byte) {
 		panic(w.failed)
 	}
 	w.epoch++
+	if pb := w.tel[c.WorldRank()]; pb != nil {
+		pb.sends.Inc()
+		pb.sendBytes.Add(int64(len(buf)))
+	}
 	box := w.boxes[c.ranks[dst]]
 	box.msgs = append(box.msgs, message{
 		comm:   c.id,
@@ -314,6 +320,10 @@ func (c *Comm) recvDetect(src, tag int, detect bool) (data []byte, actualSrc, ac
 						w.vt[me] = arrive
 					}
 				}
+				if pb := w.tel[me]; pb != nil {
+					pb.recvs.Inc()
+					pb.recvBytes.Add(int64(len(m.data)))
+				}
 				// Translate world src back to a comm rank; -1 if the
 				// sender is not a member of this communicator.
 				cr := -1
@@ -355,6 +365,7 @@ func (c *Comm) Barrier() {
 	if p == 1 {
 		return
 	}
+	defer c.probe().timer(collBarrier).Start().Stop()
 	tag := c.collTag(0)
 	for k := 1; k < p; k <<= 1 {
 		dst := (c.rank + k) % p
@@ -371,6 +382,7 @@ func (c *Comm) Bcast(root int, data []byte) []byte {
 	if p == 1 {
 		return data
 	}
+	defer c.probe().timer(collBcast).Start().Stop()
 	tag := c.collTag(1)
 	rel := (c.rank - root + p) % p // relative rank, root = 0
 	// Receive from parent (highest set bit), then forward to children.
@@ -405,6 +417,7 @@ func nextPow2(rel int) int {
 // binomial tree (log P rounds).
 func (c *Comm) Gather(root int, data []byte) [][]byte {
 	p := c.Size()
+	defer c.probe().timer(collGather).Start().Stop()
 	tag := c.collTag(2)
 	rel := (c.rank - root + p) % p
 	// Each rank owns a bucket of gathered blocks keyed by relative rank.
@@ -448,6 +461,7 @@ func (c *Comm) Allgather(data []byte) [][]byte {
 	if p == 1 {
 		return out
 	}
+	defer c.probe().timer(collAllgather).Start().Stop()
 	tag := c.collTag(3)
 	right := (c.rank + 1) % p
 	left := (c.rank - 1 + p) % p
@@ -469,6 +483,7 @@ func (c *Comm) Alltoall(data [][]byte) [][]byte {
 	if len(data) != p {
 		panic(fmt.Sprintf("mpi: Alltoall needs %d blocks, got %d", p, len(data)))
 	}
+	defer c.probe().timer(collAlltoall).Start().Stop()
 	tag := c.collTag(4)
 	out := make([][]byte, p)
 	out[c.rank] = append([]byte(nil), data[c.rank]...)
@@ -520,6 +535,7 @@ func (c *Comm) AllreduceFloat64(x []float64, op Op) []float64 {
 	if p == 1 {
 		return acc
 	}
+	defer c.probe().timer(collAllreduce).Start().Stop()
 	tag := c.collTag(5)
 	rel := c.rank // root 0
 	mask := 1
@@ -547,6 +563,7 @@ func (c *Comm) AllreduceInt64(x []int64, op Op) []int64 {
 	if p == 1 {
 		return acc
 	}
+	defer c.probe().timer(collAllreduce).Start().Stop()
 	tag := c.collTag(6)
 	rel := c.rank
 	mask := 1
@@ -669,6 +686,10 @@ func (c *Comm) TryRecv(src, tag int) (data []byte, actualSrc, actualTag int, ok 
 				if arrive > w.vt[me] {
 					w.vt[me] = arrive
 				}
+			}
+			if pb := w.tel[me]; pb != nil {
+				pb.recvs.Inc()
+				pb.recvBytes.Add(int64(len(m.data)))
 			}
 			cr := -1
 			for r, wr := range c.ranks {

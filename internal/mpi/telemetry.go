@@ -1,0 +1,95 @@
+package mpi
+
+import (
+	"repro/internal/telemetry"
+)
+
+// Telemetry names of the message-passing runtime. Message counters are
+// attributed to the registry of the rank doing the send or receive;
+// collective timers measure the caller's blocking time (host wall
+// clock by default — the registry's clock decides).
+const (
+	CounterSends     = "mpi.sends"
+	CounterSendBytes = "mpi.send_bytes"
+	CounterRecvs     = "mpi.recvs"
+	CounterRecvBytes = "mpi.recv_bytes"
+
+	TimerBarrier   = "mpi.barrier"
+	TimerBcast     = "mpi.bcast"
+	TimerGather    = "mpi.gather"
+	TimerAllgather = "mpi.allgather"
+	TimerAlltoall  = "mpi.alltoall"
+	TimerAllreduce = "mpi.allreduce"
+)
+
+// Collective indices into commProbe.coll.
+const (
+	collBarrier = iota
+	collBcast
+	collGather
+	collAllgather
+	collAlltoall
+	collAllreduce
+	collCount
+)
+
+// commProbe holds one rank's pre-resolved metric handles. Entries live
+// in world.tel indexed by world rank, so the attachment survives
+// communicator splits; all accesses happen under w.mu or through the
+// probe() snapshot, and only the owning rank ever writes its slot.
+type commProbe struct {
+	sends, sendBytes, recvs, recvBytes *telemetry.Counter
+	coll                               [collCount]*telemetry.Timer
+}
+
+func newCommProbe(reg *telemetry.Registry) *commProbe {
+	pb := &commProbe{
+		sends:     reg.Counter(CounterSends),
+		sendBytes: reg.Counter(CounterSendBytes),
+		recvs:     reg.Counter(CounterRecvs),
+		recvBytes: reg.Counter(CounterRecvBytes),
+	}
+	// Collectives fire constantly inside solver phases; labeling their
+	// spans would erase the enclosing phase's pprof label at every Stop.
+	pb.coll[collBarrier] = reg.Timer(TimerBarrier).WithoutPprofLabel()
+	pb.coll[collBcast] = reg.Timer(TimerBcast).WithoutPprofLabel()
+	pb.coll[collGather] = reg.Timer(TimerGather).WithoutPprofLabel()
+	pb.coll[collAllgather] = reg.Timer(TimerAllgather).WithoutPprofLabel()
+	pb.coll[collAlltoall] = reg.Timer(TimerAlltoall).WithoutPprofLabel()
+	pb.coll[collAllreduce] = reg.Timer(TimerAllreduce).WithoutPprofLabel()
+	return pb
+}
+
+// timer returns the collective timer (nil-safe for a detached rank).
+func (pb *commProbe) timer(i int) *telemetry.Timer {
+	if pb == nil {
+		return nil
+	}
+	return pb.coll[i]
+}
+
+// AttachTelemetry routes this rank's message counters and collective
+// timings to reg. The registry must be private to the rank (merge
+// Snapshots across ranks afterwards); the attachment is keyed by world
+// rank and therefore covers every communicator derived by Split.
+// Attaching a nil registry detaches the rank. Call before spawning
+// any worker goroutines that share the rank's communicators.
+func (c *Comm) AttachTelemetry(reg *telemetry.Registry) {
+	w := c.w
+	var pb *commProbe
+	if reg != nil {
+		pb = newCommProbe(reg)
+	}
+	w.mu.Lock()
+	w.tel[c.WorldRank()] = pb
+	w.mu.Unlock()
+}
+
+// probe snapshots the caller's probe pointer (nil when detached).
+func (c *Comm) probe() *commProbe {
+	w := c.w
+	w.mu.Lock()
+	pb := w.tel[c.WorldRank()]
+	w.mu.Unlock()
+	return pb
+}

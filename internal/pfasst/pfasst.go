@@ -20,6 +20,7 @@ import (
 	"repro/internal/ode"
 	"repro/internal/quadrature"
 	"repro/internal/sdc"
+	"repro/internal/telemetry"
 )
 
 // LevelSpec describes one level of the space-time hierarchy; index 0
@@ -57,6 +58,10 @@ type Config struct {
 	// the otherwise pipelined schedule — adaptivity trades away some
 	// overlap, exactly as in production PFASST controllers.
 	Tol float64
+	// Tel, when non-nil, receives this time rank's sweep counts,
+	// convergence gauges, and predictor/iteration timings (see
+	// probe.go). Must be private to the rank.
+	Tel *telemetry.Registry
 }
 
 // Result reports one rank's view of a PFASST solve.
@@ -137,10 +142,14 @@ func Run(comm *mpi.Comm, cfg Config, t0, t1 float64, nsteps int, u0 []float64) (
 	rank := comm.Rank()
 	u := append([]float64(nil), u0...)
 	res := Result{}
+	pb := newProbe(cfg.Tel)
+	if cfg.Tel != nil {
+		comm.AttachTelemetry(cfg.Tel)
+	}
 
 	for b := 0; b < blocks; b++ {
 		tn := t0 + (float64(b*p)+float64(rank))*dt
-		blockRes := runBlock(comm, cfg, levels, tn, dt, u, b, &res)
+		blockRes := runBlock(comm, cfg, levels, tn, dt, u, b, &res, &pb)
 		// The last rank's slice-end value starts the next block.
 		u = mpi.BytesToFloat64s(comm.Bcast(p-1, mpi.Float64sToBytes(blockRes)))
 	}
@@ -267,7 +276,7 @@ func (l *level) interpolateCorrection() {
 // correction (the "finalize" stage of standard PFASST controllers).
 const trailingSweep = true
 
-func runBlock(comm *mpi.Comm, cfg Config, levels []*level, tn, dt float64, u0 []float64, block int, res *Result) []float64 {
+func runBlock(comm *mpi.Comm, cfg Config, levels []*level, tn, dt float64, u0 []float64, block int, res *Result, pb *probe) []float64 {
 	p := comm.Size()
 	rank := comm.Rank()
 	nl := len(levels)
@@ -278,6 +287,7 @@ func runBlock(comm *mpi.Comm, cfg Config, levels []*level, tn, dt float64, u0 []
 	for _, l := range levels {
 		l.sw.Setup(tn, dt)
 	}
+	predSpan := pb.predictor.Start()
 
 	// --- Predictor (Fig. 6 initialization): restrict u0 to the
 	// coarsest level, spread, then rank n performs n+1 pipelined
@@ -293,6 +303,7 @@ func runBlock(comm *mpi.Comm, cfg Config, levels []*level, tn, dt float64, u0 []
 		}
 		coarse.sw.Sweep()
 		res.SweepsCoarse++
+		pb.coarseSweeps.Inc()
 		if rank < p-1 {
 			comm.SendFloat64s(rank+1, tagFor(nl-1, j+1, true), coarse.sw.UEnd())
 		}
@@ -317,6 +328,7 @@ func runBlock(comm *mpi.Comm, cfg Config, levels []*level, tn, dt float64, u0 []
 	if rank == 0 {
 		fine.sw.SetU0(u0)
 	}
+	predSpan.Stop()
 
 	prevEnd := append([]float64(nil), fine.sw.UEnd()...)
 	var lastDiff float64
@@ -324,6 +336,7 @@ func runBlock(comm *mpi.Comm, cfg Config, levels []*level, tn, dt float64, u0 []
 
 	// --- PFASST iterations (Algorithm 1).
 	for k := 0; k < cfg.Iterations; k++ {
+		iterSpan := pb.iteration.Start()
 		// Go down the V-cycle.
 		for i := 0; i < nl-1; i++ {
 			l := levels[i]
@@ -333,6 +346,7 @@ func runBlock(comm *mpi.Comm, cfg Config, levels []*level, tn, dt float64, u0 []
 			}
 			if i == 0 {
 				res.SweepsFine += sweeps
+				pb.fineSweeps.Add(int64(sweeps))
 			}
 			if rank < p-1 {
 				comm.SendFloat64s(rank+1, tagFor(i, k, false), l.sw.UEnd())
@@ -350,6 +364,7 @@ func runBlock(comm *mpi.Comm, cfg Config, levels []*level, tn, dt float64, u0 []
 			}
 			coarse.sw.Sweep()
 			res.SweepsCoarse++
+			pb.coarseSweeps.Inc()
 			if rank < p-1 {
 				comm.SendFloat64s(rank+1, tagFor(nl-1, k*8+s, false), coarse.sw.UEnd())
 			}
@@ -378,6 +393,8 @@ func runBlock(comm *mpi.Comm, cfg Config, levels []*level, tn, dt float64, u0 []
 		lastDiff = ode.MaxDiff(fine.sw.UEnd(), prevEnd)
 		ode.Copy(prevEnd, fine.sw.UEnd())
 		itersRun = k + 1
+		iterSpan.Stop()
+		pb.iterDiff.Set(lastDiff)
 		if cfg.Tol > 0 {
 			global := comm.AllreduceFloat64([]float64{lastDiff}, mpi.OpMax)
 			if global[0] < cfg.Tol {
@@ -389,10 +406,14 @@ func runBlock(comm *mpi.Comm, cfg Config, levels []*level, tn, dt float64, u0 []
 	if trailingSweep {
 		fine.sw.Sweep()
 		res.SweepsFine++
+		pb.fineSweeps.Inc()
 	}
 	res.Residuals = append(res.Residuals, fine.sw.Residual())
 	res.IterDiffs = append(res.IterDiffs, lastDiff)
 	res.IterationsRun = append(res.IterationsRun, itersRun)
+	pb.iters.Add(int64(itersRun))
+	pb.blocks.Inc()
+	pb.residual.Set(fine.sw.Residual())
 	return append([]float64(nil), fine.sw.UEnd()...)
 }
 

@@ -1,0 +1,51 @@
+package telemetry
+
+import (
+	"context"
+	"runtime/pprof"
+	"sync/atomic"
+)
+
+// pprofLabels gates the opt-in goroutine labeling of phase spans.
+var pprofLabels atomic.Bool
+
+// SetPprofLabels enables or disables pprof phase labels. When enabled,
+// every Timer span labels its goroutine with {"phase": <timer name>}
+// for the duration of the span, so CPU profiles collected with
+// runtime/pprof segment by solver phase (tree build, branch exchange,
+// traversal, sweeps, ...). The hook costs one context allocation per
+// span while enabled and nothing at all while disabled, which is why
+// it is off by default.
+//
+// Phase spans are assumed not to nest on a single goroutine: Stop
+// resets the goroutine to unlabeled rather than to the previous label.
+func SetPprofLabels(on bool) { pprofLabels.Store(on) }
+
+// PprofLabelsEnabled reports the current labeling state.
+func PprofLabelsEnabled() bool { return pprofLabels.Load() }
+
+// LabelPhase labels the calling goroutine with {"phase": name} while
+// labeling is enabled (see SetPprofLabels) — for phases measured with
+// Observe on an external clock rather than spans. Labels don't stack:
+// the newest phase wins, and ClearPhaseLabel resets to unlabeled.
+func LabelPhase(name string) {
+	if pprofLabels.Load() {
+		labelGoroutine(name)
+	}
+}
+
+// ClearPhaseLabel removes the calling goroutine's phase label.
+func ClearPhaseLabel() {
+	if pprofLabels.Load() {
+		unlabelGoroutine()
+	}
+}
+
+func labelGoroutine(phase string) {
+	pprof.SetGoroutineLabels(pprof.WithLabels(context.Background(),
+		pprof.Labels("phase", phase)))
+}
+
+func unlabelGoroutine() {
+	pprof.SetGoroutineLabels(context.Background())
+}

@@ -1,0 +1,366 @@
+// Package telemetry is the observability layer of the space-time
+// solver: a low-overhead, concurrency-safe metrics registry holding
+// named counters, gauges and timers with monotonic phase spans.
+//
+// Design constraints (the package is wired through every hot path of
+// the solver, see DESIGN.md "Observability"):
+//
+//   - Atomic on the hot path: Counter.Add, Gauge.Set and Timer.Observe
+//     are single atomic operations (Timer totals use a CAS loop on
+//     float64 bits); no locks are taken after a metric handle has been
+//     resolved.
+//   - Zero cost when disabled: a nil *Registry yields nil metric
+//     handles, and every method of a nil handle is an inlineable
+//     nil-check no-op that performs zero allocations. Callers resolve
+//     handles once (at solver construction) and use them
+//     unconditionally.
+//   - Per-rank by convention: the in-process MPI ranks of package mpi
+//     are goroutines, so "per-rank metrics" are expressed by giving
+//     every rank its own Registry and merging the Snapshots afterwards.
+//
+// Phase timings can run on either clock of the reproduction: the
+// default registry clock is the host's monotonic wall clock, while
+// NewWithClock accepts the virtual clock of a modeled run (package
+// machine / mpi.RunTimed), so per-phase tables work in both modes.
+package telemetry
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// wallBase anchors the monotonic wall clock of the package.
+var wallBase = time.Now()
+
+// Wall returns monotonic host seconds since process start — the
+// default registry clock.
+func Wall() float64 { return time.Since(wallBase).Seconds() }
+
+// Registry holds named metrics. The zero value is not used; construct
+// with New or NewWithClock. A nil *Registry is the disabled registry:
+// it hands out nil metric handles whose methods are no-ops.
+type Registry struct {
+	clock func() float64
+
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	timers   map[string]*Timer
+}
+
+// New returns an enabled registry on the monotonic wall clock.
+func New() *Registry { return NewWithClock(Wall) }
+
+// NewWithClock returns an enabled registry whose timers read the given
+// monotonic clock (seconds). Pass a virtual clock (e.g. mpi.Comm.Now)
+// to attribute phase spans in modeled Blue Gene/P time.
+func NewWithClock(clock func() float64) *Registry {
+	if clock == nil {
+		clock = Wall
+	}
+	return &Registry{
+		clock:    clock,
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		timers:   make(map[string]*Timer),
+	}
+}
+
+// Enabled reports whether the registry records anything.
+func (r *Registry) Enabled() bool { return r != nil }
+
+// Counter returns the named counter, creating it on first use. A nil
+// registry returns a nil (no-op) counter.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use. A nil
+// registry returns a nil (no-op) gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Timer returns the named timer, creating it on first use. A nil
+// registry returns a nil (no-op) timer.
+func (r *Registry) Timer(name string) *Timer {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	t := r.timers[name]
+	if t == nil {
+		t = &Timer{name: name, clock: r.clock}
+		r.timers[name] = t
+	}
+	return t
+}
+
+// Counter is a monotonically increasing integer metric.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n; no-op on a nil counter.
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Load returns the current count (zero for a nil counter).
+func (c *Counter) Load() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a float64 metric holding the most recent value.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores v; no-op on a nil gauge.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// SetMax stores v only if it exceeds the current value.
+func (g *Gauge) SetMax(v float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		if math.Float64frombits(old) >= v {
+			return
+		}
+		if g.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// Load returns the current value (zero for a nil gauge).
+func (g *Gauge) Load() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Timer accumulates durations of named phases. Durations are recorded
+// either explicitly (Observe) or through spans (Start/Stop) on the
+// registry's monotonic clock.
+type Timer struct {
+	name    string
+	clock   func() float64
+	noLabel bool
+
+	count     atomic.Int64
+	totalBits atomic.Uint64 // float64 seconds
+	maxBits   atomic.Uint64 // float64 seconds (single longest span)
+}
+
+// WithoutPprofLabel excludes this timer's spans from pprof phase
+// labeling and returns the timer. Use it for high-frequency sub-phase
+// timers (per-message collectives, ...) whose Stop would otherwise
+// erase the enclosing phase's goroutine label — spans do not restore
+// the previous label.
+func (t *Timer) WithoutPprofLabel() *Timer {
+	if t != nil {
+		t.noLabel = true
+	}
+	return t
+}
+
+// Observe records one phase duration in seconds; no-op on a nil timer.
+func (t *Timer) Observe(seconds float64) {
+	if t == nil {
+		return
+	}
+	t.count.Add(1)
+	atomicAddFloat(&t.totalBits, seconds)
+	atomicMaxFloat(&t.maxBits, seconds)
+}
+
+// Span is an in-flight phase measurement. The zero Span (from a nil
+// timer) is valid and Stop on it is a no-op.
+type Span struct {
+	t       *Timer
+	start   float64
+	labeled bool
+}
+
+// Start opens a span on the registry clock. When pprof labeling is
+// enabled (SetPprofLabels), the calling goroutine is labeled with the
+// timer's name until Stop, so CPU profiles segment by phase.
+func (t *Timer) Start() Span {
+	if t == nil {
+		return Span{}
+	}
+	sp := Span{t: t, start: t.clock()}
+	if !t.noLabel && pprofLabels.Load() {
+		labelGoroutine(t.name)
+		sp.labeled = true
+	}
+	return sp
+}
+
+// Stop closes the span and records its duration.
+func (sp Span) Stop() {
+	if sp.t == nil {
+		return
+	}
+	sp.t.Observe(sp.t.clock() - sp.start)
+	if sp.labeled {
+		unlabelGoroutine()
+	}
+}
+
+// atomicAddFloat adds v to the float64 stored in bits (CAS loop).
+func atomicAddFloat(bits *atomic.Uint64, v float64) {
+	for {
+		old := bits.Load()
+		nv := math.Float64bits(math.Float64frombits(old) + v)
+		if bits.CompareAndSwap(old, nv) {
+			return
+		}
+	}
+}
+
+// atomicMaxFloat raises the float64 stored in bits to at least v.
+func atomicMaxFloat(bits *atomic.Uint64, v float64) {
+	for {
+		old := bits.Load()
+		if math.Float64frombits(old) >= v {
+			return
+		}
+		if bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// TimerStat is the snapshot form of a Timer.
+type TimerStat struct {
+	// Count is the number of recorded spans.
+	Count int64 `json:"count"`
+	// Total is the accumulated duration in seconds.
+	Total float64 `json:"total_s"`
+	// Max is the longest single span in seconds. After merging
+	// per-rank snapshots of a collective phase executed once per rank,
+	// Max is the per-rank maximum — the parallel time of the phase.
+	Max float64 `json:"max_s"`
+}
+
+// Snapshot is a point-in-time copy of a registry's metrics, safe to
+// read, merge and serialize after the run.
+type Snapshot struct {
+	Counters map[string]int64     `json:"counters,omitempty"`
+	Gauges   map[string]float64   `json:"gauges,omitempty"`
+	Timers   map[string]TimerStat `json:"timers,omitempty"`
+}
+
+// Snapshot captures the current metric values. A nil registry yields
+// an empty snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters: make(map[string]int64),
+		Gauges:   make(map[string]float64),
+		Timers:   make(map[string]TimerStat),
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name, c := range r.counters {
+		s.Counters[name] = c.Load()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Load()
+	}
+	for name, t := range r.timers {
+		s.Timers[name] = TimerStat{
+			Count: t.count.Load(),
+			Total: math.Float64frombits(t.totalBits.Load()),
+			Max:   math.Float64frombits(t.maxBits.Load()),
+		}
+	}
+	return s
+}
+
+// Merge folds another snapshot into s (the per-rank aggregation):
+// counters and timer counts/totals sum, gauges and timer maxima take
+// the maximum.
+func (s *Snapshot) Merge(o Snapshot) {
+	if s.Counters == nil {
+		s.Counters = make(map[string]int64)
+	}
+	if s.Gauges == nil {
+		s.Gauges = make(map[string]float64)
+	}
+	if s.Timers == nil {
+		s.Timers = make(map[string]TimerStat)
+	}
+	for name, v := range o.Counters {
+		s.Counters[name] += v
+	}
+	for name, v := range o.Gauges {
+		if cur, ok := s.Gauges[name]; !ok || v > cur {
+			s.Gauges[name] = v
+		}
+	}
+	for name, v := range o.Timers {
+		cur := s.Timers[name]
+		cur.Count += v.Count
+		cur.Total += v.Total
+		if v.Max > cur.Max {
+			cur.Max = v.Max
+		}
+		s.Timers[name] = cur
+	}
+}
+
+// Counter returns a counter value by name (zero when absent).
+func (s Snapshot) Counter(name string) int64 { return s.Counters[name] }
+
+// Timer returns a timer stat by name (zero when absent).
+func (s Snapshot) Timer(name string) TimerStat { return s.Timers[name] }
+
+// Names returns the sorted metric names of the given map's keys.
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

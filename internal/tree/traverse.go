@@ -76,6 +76,19 @@ type VortexResult struct {
 	// Interactions counts accepted cells plus directly summed
 	// particles.
 	Interactions int64
+	// CellAccepts counts the MAC-accepted cluster interactions alone
+	// (the particle–particle share is Interactions − CellAccepts).
+	CellAccepts int64
+	// Rejects counts cells the MAC refused and the traversal opened —
+	// the per-rank accept/reject balance of the θ choice.
+	Rejects int64
+}
+
+// AddCounts folds the traversal counters of sub into res.
+func (res *VortexResult) AddCounts(sub *VortexResult) {
+	res.Interactions += sub.Interactions
+	res.CellAccepts += sub.CellAccepts
+	res.Rejects += sub.Rejects
 }
 
 // DipoleVelocity evaluates the dipole correction of an accepted cell:
@@ -136,6 +149,7 @@ func (t *Tree) VortexAtNodeMAC(mac MACKind, start int, x vec.Vec3, theta float64
 				res.U = res.U.Add(DipoleVelocity(r, nd.Dipole))
 			}
 			res.Interactions++
+			res.CellAccepts++
 			continue
 		}
 		if nd.Leaf {
@@ -152,6 +166,7 @@ func (t *Tree) VortexAtNodeMAC(mac MACKind, start int, x vec.Vec3, theta float64
 			}
 			continue
 		}
+		res.Rejects++
 		for _, ci := range nd.Children {
 			if ci >= 0 {
 				stack = append(stack, ci)
@@ -166,6 +181,16 @@ type CoulombResult struct {
 	Phi          float64
 	E            vec.Vec3
 	Interactions int64
+	// CellAccepts and Rejects mirror VortexResult's MAC counters.
+	CellAccepts int64
+	Rejects     int64
+}
+
+// AddCounts folds the traversal counters of sub into res.
+func (res *CoulombResult) AddCounts(sub *CoulombResult) {
+	res.Interactions += sub.Interactions
+	res.CellAccepts += sub.CellAccepts
+	res.Rejects += sub.Rejects
 }
 
 // CoulombCell evaluates the multipole expansion (monopole + dipole +
@@ -218,6 +243,7 @@ func (t *Tree) CoulombAtNode(start int, x vec.Vec3, theta, eps float64, skipOrig
 			res.Phi += phi
 			res.E = res.E.Add(e)
 			res.Interactions++
+			res.CellAccepts++
 			continue
 		}
 		if nd.Leaf {
@@ -234,6 +260,7 @@ func (t *Tree) CoulombAtNode(start int, x vec.Vec3, theta, eps float64, skipOrig
 			}
 			continue
 		}
+		res.Rejects++
 		for _, ci := range nd.Children {
 			if ci >= 0 {
 				stack = append(stack, ci)
@@ -278,6 +305,7 @@ func (t *Tree) VortexAtSplit(start int, x vec.Vec3, theta float64, skipOrig int,
 					far.U = far.U.Add(DipoleVelocity(r, nd.Dipole))
 				}
 				far.Interactions++
+				far.CellAccepts++
 			}
 			continue
 		}
@@ -295,6 +323,7 @@ func (t *Tree) VortexAtSplit(start int, x vec.Vec3, theta float64, skipOrig int,
 			}
 			continue
 		}
+		near.Rejects++
 		for _, ci := range nd.Children {
 			if ci >= 0 {
 				stack = append(stack, ci)

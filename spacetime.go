@@ -9,7 +9,23 @@ import (
 	"repro/internal/machine"
 	"repro/internal/mpi"
 	"repro/internal/particle"
+	"repro/internal/telemetry"
 )
+
+// RunStats is a merged telemetry snapshot of a run: counters summed
+// over the ranks, gauges and per-phase timer maxima taken across them
+// (so a timer's Max is the parallel time of that phase). See
+// internal/telemetry for the snapshot structure and emitters
+// (WriteJSON, WriteCSV, Fprint).
+type RunStats = telemetry.Snapshot
+
+// TimerStat is the per-phase entry of a RunStats timer.
+type TimerStat = telemetry.TimerStat
+
+// SetPprofLabels toggles pprof goroutine labeling of telemetry phase
+// spans: when enabled, CPU profiles collected during a run attribute
+// samples to a "phase" label (hot.traverse, pfasst.iteration, ...).
+func SetPprofLabels(on bool) { telemetry.SetPprofLabels(on) }
 
 // SpaceTimeConfig parameterizes a PT×PS space-time parallel run (the
 // paper's headline configuration; Fig. 2).
@@ -31,6 +47,10 @@ type SpaceTimeConfig struct {
 	// Modeled enables the Blue Gene/P virtual clocks; ModeledSeconds of
 	// the result is then meaningful.
 	Modeled bool
+	// Telemetry enables per-rank metric collection; the merged snapshot
+	// is returned in SpaceTimeStats.Run. The disabled path costs
+	// nothing on the evaluation hot loops.
+	Telemetry bool
 }
 
 // DefaultSpaceTime returns the paper's PFASST(2,2,·) configuration.
@@ -53,6 +73,9 @@ type SpaceTimeStats struct {
 	// FineEvals and CoarseEvals count collective force evaluations per
 	// rank of the last slice.
 	FineEvals, CoarseEvals int64
+	// Run is the merged telemetry snapshot of all PT·PS ranks (nil
+	// unless SpaceTimeConfig.Telemetry was set).
+	Run *RunStats
 }
 
 // RunSpaceTime advances the system from t0 to t1 in nsteps steps
@@ -84,14 +107,22 @@ func RunSpaceTime(cfg SpaceTimeConfig, sys *System, t0, t1 float64, nsteps int) 
 	out := sys.Clone()
 	var mu sync.Mutex
 	var stats SpaceTimeStats
+	var merged RunStats
 
 	runner := func(w *mpi.Comm) error {
-		res, err := core.RunSpaceTime(w, ccfg, sys, t0, t1, nsteps)
+		rcfg := ccfg
+		if cfg.Telemetry {
+			rcfg.Tel = telemetry.New()
+		}
+		res, err := core.RunSpaceTime(w, rcfg, sys, t0, t1, nsteps)
 		if err != nil {
 			return err
 		}
 		mu.Lock()
 		defer mu.Unlock()
+		if rcfg.Tel != nil {
+			merged.Merge(rcfg.Tel.Snapshot())
+		}
 		if res.TimeSlice == cfg.PT-1 {
 			// Write this spatial block into the gathered output.
 			n := sys.N()
@@ -115,6 +146,9 @@ func RunSpaceTime(cfg SpaceTimeConfig, sys *System, t0, t1 float64, nsteps int) 
 	if err != nil {
 		return nil, SpaceTimeStats{}, err
 	}
+	if cfg.Telemetry {
+		stats.Run = &merged
+	}
 	return out, stats, nil
 }
 
@@ -124,8 +158,18 @@ func RunSpaceTime(cfg SpaceTimeConfig, sys *System, t0, t1 float64, nsteps int) 
 // the modeled parallel wall-clock seconds.
 func RunSpaceParallel(ps int, theta float64, sweeps int, modeled bool,
 	sys *System, t0, t1 float64, nsteps int) (*System, float64, error) {
+	out, vt, _, err := RunSpaceParallelInstrumented(ps, theta, sweeps, modeled, false, sys, t0, t1, nsteps)
+	return out, vt, err
+}
+
+// RunSpaceParallelInstrumented is RunSpaceParallel with optional
+// telemetry: when instrument is set, the returned RunStats merges the
+// per-rank snapshots (tree phase timers, interaction counters, message
+// counts) of the space-parallel run.
+func RunSpaceParallelInstrumented(ps int, theta float64, sweeps int, modeled, instrument bool,
+	sys *System, t0, t1 float64, nsteps int) (*System, float64, *RunStats, error) {
 	if ps < 1 {
-		return nil, 0, fmt.Errorf("nbody: ps %d < 1", ps)
+		return nil, 0, nil, fmt.Errorf("nbody: ps %d < 1", ps)
 	}
 	ccfg := core.Default(1, ps)
 	ccfg.ThetaFine = theta
@@ -136,17 +180,25 @@ func RunSpaceParallel(ps int, theta float64, sweeps int, modeled bool,
 	}
 	out := sys.Clone()
 	var mu sync.Mutex
+	var merged RunStats
 	runner := func(w *mpi.Comm) error {
+		rcfg := ccfg
+		if instrument {
+			rcfg.Tel = telemetry.New()
+		}
 		n := sys.N()
 		lo := n * w.Rank() / ps
 		hi := n * (w.Rank() + 1) / ps
 		local := &particle.System{Sigma: sys.Sigma,
 			Particles: append([]particle.Particle(nil), sys.Particles[lo:hi]...)}
-		if _, err := core.RunSpaceSerialSDC(w, ccfg, local, t0, t1, nsteps, 3, sweeps); err != nil {
+		if _, err := core.RunSpaceSerialSDC(w, rcfg, local, t0, t1, nsteps, 3, sweeps); err != nil {
 			return err
 		}
 		mu.Lock()
 		copy(out.Particles[lo:hi], local.Particles)
+		if rcfg.Tel != nil {
+			merged.Merge(rcfg.Tel.Snapshot())
+		}
 		mu.Unlock()
 		return nil
 	}
@@ -158,9 +210,13 @@ func RunSpaceParallel(ps int, theta float64, sweeps int, modeled bool,
 		err = mpi.Run(ps, runner)
 	}
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, nil, err
 	}
-	return out, vt, nil
+	var stats *RunStats
+	if instrument {
+		stats = &merged
+	}
+	return out, vt, stats, nil
 }
 
 // TransposeScheme and ClassicalScheme expose the two discretizations
