@@ -1,11 +1,28 @@
 #!/bin/sh
-# CI entry point: vet, build, full test suite, then the same suite
-# under the race detector. The solver runs dozens of goroutine ranks
-# per test, so the race lane is the gate that matters — run this before
-# every merge.
+# CI entry point: vet, doc-comment presence, build, full test suite,
+# the same suite under the race detector, and a one-iteration benchmark
+# smoke lane. The solver runs dozens of goroutine ranks per test, so
+# the race lane is the gate that matters — run this before every merge.
 set -eux
 
 go vet ./...
+
+# Every library package must carry a package doc comment (godoc
+# presence gate); main packages are exempt from the "// Package" form.
+missing=$(go list -f '{{.Name}} {{.ImportPath}} {{.Dir}}' ./... | while read -r name pkg dir; do
+  [ "$name" = main ] && continue
+  grep -q '^// Package ' "$dir"/*.go || echo "$pkg"
+done)
+if [ -n "$missing" ]; then
+  echo "packages missing a package doc comment:" >&2
+  echo "$missing" >&2
+  exit 1
+fi
+
 go build ./...
 go test ./...
 go test -race ./...
+
+# Benchmark smoke lane: one iteration each, just to keep the benchmark
+# drivers compiling and running.
+go test -bench . -benchtime 1x -run '^$' ./...

@@ -7,6 +7,10 @@
 //	experiments                 # run everything (scaled defaults)
 //	experiments -fig 7a         # a single figure: 1, 5, 7a, 7b, 8
 //	experiments -exp theta-ratio|residuals|speedup-model|phases
+//	experiments -exp bench-pr2  # traversal benchmark (writes BENCH_PR2.json; not part of "all")
+//	experiments -traversal recursive -exp phases  # per-particle walk instead of interaction lists
+//	experiments -stealgrain 4 -exp phases         # work-stealing chunk size (leaf groups)
+//	experiments -threads 4 -exp phases            # hybrid per-rank worker pool (steals visible)
 //	experiments -csv out/       # additionally write CSV files
 //	experiments -json out/      # write telemetry snapshots as JSON
 //	experiments -pproflabels -cpuprofile cpu.out  # label profile samples by phase
@@ -23,6 +27,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/telemetry"
+	"repro/internal/tree"
 )
 
 func main() {
@@ -30,7 +35,11 @@ func main() {
 	log.SetPrefix("experiments: ")
 	var (
 		fig        = flag.String("fig", "", "figure to regenerate: 1, 5, 7a, 7b, 8 (empty = all)")
-		exp        = flag.String("exp", "", "extra experiment: theta-ratio, residuals, speedup-model, ablations, phases")
+		exp        = flag.String("exp", "", "extra experiment: theta-ratio, residuals, speedup-model, ablations, phases, bench-pr2")
+		traversal  = flag.String("traversal", "", `tree traversal mode: "list" (default) or "recursive"`)
+		stealGrain = flag.Int("stealgrain", 0, "work-stealing chunk size in leaf groups (0 = automatic)")
+		threads    = flag.Int("threads", 0, "traversal worker goroutines per rank (>1 = hybrid scheduler; phases experiment)")
+		benchOut   = flag.String("benchout", "BENCH_PR2.json", "output path of the bench-pr2 record")
 		csvDir     = flag.String("csv", "", "directory for CSV output")
 		jsonDir    = flag.String("json", "", "directory for telemetry snapshot JSON output")
 		paper      = flag.Bool("paper", false, "use the paper's exact sizes where implemented (very slow)")
@@ -38,6 +47,11 @@ func main() {
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 	)
 	flag.Parse()
+
+	trav, err := tree.ParseTraversal(*traversal)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	telemetry.SetPprofLabels(*labels)
 	if *cpuprofile != "" {
@@ -113,9 +127,24 @@ func main() {
 		emit("fig5_model", tbm)
 	}
 	if want("phases") || all {
-		snap, tb := experiments.SpaceTimePhases(experiments.DefaultPhases())
+		pcfg := experiments.DefaultPhases()
+		pcfg.Traversal = trav
+		pcfg.StealGrain = *stealGrain
+		pcfg.Threads = *threads
+		snap, tb := experiments.SpaceTimePhases(pcfg)
 		emit("spacetime_phases", tb)
 		emitJSON("spacetime_phases", snap)
+	}
+	// bench-pr2 is opt-in only (minutes of wall time): it races the
+	// recursive+static evaluator against the list+stealing default on
+	// the clustered vortex sheet and records BENCH_PR2.json.
+	if strings.EqualFold(*exp, "bench-pr2") {
+		res, tb := experiments.BenchPR2(experiments.DefaultBenchPR2())
+		emit("bench_pr2", tb)
+		if err := res.WriteJSON(*benchOut); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n\n", *benchOut)
 	}
 	fig7cfg := experiments.DefaultFig7()
 	if *paper {

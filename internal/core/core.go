@@ -26,6 +26,7 @@ import (
 	"repro/internal/pfasst"
 	"repro/internal/sdc"
 	"repro/internal/telemetry"
+	"repro/internal/tree"
 	"repro/internal/vec"
 )
 
@@ -157,6 +158,13 @@ type Config struct {
 	// Threads selects the per-rank traversal worker count (the
 	// Pthreads analog of PEPC; ≤1 = synchronous).
 	Threads int
+	// Traversal selects the force-evaluation strategy of every level's
+	// tree solver: tree.TraversalList (default) or
+	// tree.TraversalRecursive.
+	Traversal tree.TraversalMode
+	// StealGrain tunes the work-stealing chunk size (leaf groups) of
+	// the hybrid list traversal; ≤0 = automatic.
+	StealGrain int
 	// Model, when non-nil, drives the virtual clocks.
 	Model *machine.CostModel
 	// Tel, when non-nil, collects this world rank's telemetry (tree
@@ -232,6 +240,7 @@ func RunSpaceTime(world *mpi.Comm, cfg Config, full *particle.System, t0, t1 flo
 		solver := hot.New(spaceComm, hot.Config{
 			Sm: cfg.Sm, Scheme: cfg.Scheme, Theta: l.Theta,
 			LeafCap: cfg.LeafCap, Dipole: cfg.Dipole, Model: cfg.Model, Threads: cfg.Threads,
+			Traversal: cfg.Traversal, StealGrain: cfg.StealGrain,
 			Tel: cfg.Tel,
 		})
 		systems[i] = NewDistVortexSystem(local, solver)
@@ -277,6 +286,7 @@ func RunSpaceSerialSDC(spaceComm *mpi.Comm, cfg Config, local *particle.System,
 	solver := hot.New(spaceComm, hot.Config{
 		Sm: cfg.Sm, Scheme: cfg.Scheme, Theta: cfg.ThetaFine,
 		LeafCap: cfg.LeafCap, Dipole: cfg.Dipole, Model: cfg.Model, Threads: cfg.Threads,
+		Traversal: cfg.Traversal, StealGrain: cfg.StealGrain,
 		Tel: cfg.Tel,
 	})
 	sys := NewDistVortexSystem(local, solver)

@@ -5,13 +5,12 @@
 package direct
 
 import (
-	"runtime"
-	"sync"
 	"sync/atomic"
 
 	"repro/internal/field"
 	"repro/internal/kernel"
 	"repro/internal/particle"
+	"repro/internal/sched"
 	"repro/internal/vec"
 )
 
@@ -29,9 +28,6 @@ type Solver struct {
 // New returns a direct solver using the given smoothing kernel and
 // stretching scheme. workers ≤ 0 selects GOMAXPROCS.
 func New(sm kernel.Smoothing, scheme kernel.Scheme, workers int) *Solver {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
 	return &Solver{sm: sm, scheme: scheme, workers: workers}
 }
 
@@ -133,31 +129,12 @@ func (s *Solver) Coulomb(sys *particle.System, eps float64, pot []float64, f []v
 	})
 }
 
-// parallelRange splits [0,n) into contiguous chunks processed by the
-// worker pool.
+// parallelRange distributes [0,n) over the worker pool with the
+// work-stealing scheduler; every index is processed exactly once and
+// each target's sum is independent, so results do not depend on the
+// schedule.
 func (s *Solver) parallelRange(n int, fn func(lo, hi int)) {
-	w := s.workers
-	if w > n {
-		w = n
-	}
-	if w <= 1 {
-		fn(0, n)
-		return
-	}
-	var wg sync.WaitGroup
-	chunk := (n + w - 1) / w
-	for lo := 0; lo < n; lo += chunk {
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			fn(lo, hi)
-		}(lo, hi)
-	}
-	wg.Wait()
+	sched.Run(s.workers, n, 0, func(_, lo, hi int) { fn(lo, hi) })
 }
 
 var _ field.Evaluator = (*Solver)(nil)

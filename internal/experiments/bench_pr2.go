@@ -1,0 +1,324 @@
+package experiments
+
+import (
+	"encoding/json"
+	"math"
+	"os"
+	"time"
+
+	"repro/internal/kernel"
+	"repro/internal/particle"
+	"repro/internal/tree"
+	"repro/internal/vec"
+)
+
+// BenchPR2Config parameterizes the traversal/scheduling benchmark on
+// the clustered vortex sheet (smooth sheet + rolled-up ring): the
+// two-phase interaction-list evaluator with work-stealing scheduling
+// against the per-particle recursive walk with static block splits.
+type BenchPR2Config struct {
+	N        int     // particles (half sheet, half ring)
+	Theta    float64 // MAC parameter
+	LeafCap  int     // leaf bucket size
+	GroupCap int     // target-group size of the list evaluator (≤0: auto)
+	Workers  int     // modeled worker count for the scheduling comparison
+	Reps     int     // repetitions; best time wins
+}
+
+// DefaultBenchPR2 returns the configuration recorded in BENCH_PR2.json:
+// θ = 0.3 is the paper's fine-propagator accuracy, the regime where the
+// sheet/cloud walk-cost contrast (and so the static imbalance) is
+// strongest.
+func DefaultBenchPR2() BenchPR2Config {
+	return BenchPR2Config{N: 20000, Theta: 0.3, LeafCap: 8, Workers: 8, Reps: 3}
+}
+
+// BenchPR2Result is the machine-readable benchmark record
+// (BENCH_PR2.json).
+//
+// Two kinds of numbers are reported. The serialized wall times
+// (*_ns_per_op, *_interactions_per_sec) are plain host measurements of
+// one full Eval. The scheduling comparison is a makespan computed from
+// *measured* per-target costs: every recursive per-particle walk and
+// every group's list build + evaluation is timed individually, then
+// the two evaluators' schedules are replayed at Workers workers — the
+// pre-scheduler static contiguous particle blocks (input order, as
+// parallelRange splits them) over the recursive costs, and
+// internal/sched's claim/steal protocol over the group costs. On a
+// multi-core host the makespan ratio is the wall-clock speedup of the
+// list+stealing evaluator over the recursive+static one; on a
+// single-core CI host (where any scheduling change has a real wall
+// ratio of exactly 1 by construction) it is the modeled wall clock in
+// the same sense as the repository's virtual-clock scaling runs.
+type BenchPR2Result struct {
+	N        int     `json:"n"`
+	Theta    float64 `json:"theta"`
+	LeafCap  int     `json:"leaf_cap"`
+	GroupCap int     `json:"group_cap"`
+	Workers  int     `json:"workers"`
+	Reps     int     `json:"reps"`
+	Groups   int     `json:"groups"`
+
+	// Serialized (single-core) wall time of one full Eval per mode.
+	RecursiveNsPerOp float64 `json:"recursive_ns_per_op"`
+	ListNsPerOp      float64 `json:"list_ns_per_op"`
+	// Pairwise interactions per second of the best repetition.
+	RecursiveInteractionsPerSec float64 `json:"recursive_interactions_per_sec"`
+	ListInteractionsPerSec      float64 `json:"list_interactions_per_sec"`
+	// Steals observed in the real Workers-worker list run.
+	Steals int64 `json:"steals"`
+
+	// Makespans at Workers workers: static contiguous particle blocks
+	// over measured recursive per-particle costs vs. the replayed
+	// claim/steal schedule over measured per-group list costs.
+	StaticMakespanSec float64 `json:"static_makespan_sec"`
+	StealMakespanSec  float64 `json:"steal_makespan_sec"`
+	// Work imbalance max/mean of the static particle blocks.
+	StaticImbalance float64 `json:"static_imbalance"`
+	// Speedup = StaticMakespanSec / StealMakespanSec: wall-clock
+	// speedup of list+stealing over static block splits at Workers
+	// workers (see the type comment for the single-core caveat).
+	Speedup   float64 `json:"speedup"`
+	SimSteals int     `json:"sim_steals"`
+
+	Measurement string `json:"measurement"`
+}
+
+// BenchPR2 runs the benchmark and renders it as a table.
+func BenchPR2(cfg BenchPR2Config) (BenchPR2Result, *Table) {
+	sys := particle.ClusteredVortexSheet(cfg.N)
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = 8
+	}
+	reps := cfg.Reps
+	if reps <= 0 {
+		reps = 3
+	}
+	vel := make([]vec.Vec3, sys.N())
+	str := make([]vec.Vec3, sys.N())
+
+	runWall := func(mode tree.TraversalMode) (best time.Duration, interactions, steals int64) {
+		s := tree.NewSolver(kernel.Algebraic6(), kernel.Transpose, cfg.Theta)
+		s.LeafCap = cfg.LeafCap
+		s.GroupCap = cfg.GroupCap
+		s.Workers = workers
+		s.Traversal = mode
+		for r := 0; r < reps; r++ {
+			before := s.Stats().Interactions
+			t0 := time.Now()
+			s.Eval(sys, vel, str)
+			el := time.Since(t0)
+			if r == 0 || el < best {
+				best = el
+				interactions = s.Stats().Interactions - before
+				steals = s.LastSched.Steals
+			}
+		}
+		return
+	}
+	recBest, recInter, _ := runWall(tree.TraversalRecursive)
+	listBest, listInter, steals := runWall(tree.TraversalList)
+
+	t := tree.Build(sys, tree.BuildConfig{LeafCap: cfg.LeafCap, Discipline: tree.Vortex})
+	pw := kernel.Pairwise{Sm: kernel.Algebraic6(), Sigma: sys.Sigma}
+
+	// Per-particle recursive walk cost, timed individually (best of
+	// reps): the workload of the pre-scheduler evaluator, which split
+	// input-order particle indices into static contiguous blocks.
+	pcost := make([]float64, sys.N())
+	for r := 0; r < reps; r++ {
+		for q := 0; q < sys.N(); q++ {
+			t0 := time.Now()
+			res := t.VortexAtNodeMAC(tree.MACBarnesHut, t.Root, sys.Particles[q].Pos, cfg.Theta, q, pw, true)
+			el := time.Since(t0).Seconds()
+			vel[q] = res.U
+			if r == 0 || el < pcost[q] {
+				pcost[q] = el
+			}
+		}
+	}
+
+	// Per-group cost measurement: exactly the list evaluator's work for
+	// one group (list build + per-particle evaluation), timed
+	// individually, best of reps.
+	gcap := cfg.GroupCap
+	if gcap <= 0 {
+		gcap = cfg.LeafCap
+		if gcap < 8 {
+			gcap = 8
+		}
+	}
+	groups := t.Groups(gcap)
+	cost := make([]float64, len(groups))
+	list := tree.GetInteractionList()
+	for r := 0; r < reps; r++ {
+		for gi, g := range groups {
+			nd := &t.Nodes[g]
+			t0 := time.Now()
+			list.Reset()
+			gc, ge := t.GroupBounds(nd.First, nd.Count)
+			t.AppendInteractionList(list, tree.MACBarnesHut, cfg.Theta, int32(t.Root), gc, ge)
+			for i := nd.First; i < nd.First+nd.Count; i++ {
+				orig := t.Order[i]
+				res := t.EvalVortexList(list, tree.MACBarnesHut, cfg.Theta, sys.Particles[orig].Pos, orig, pw, true)
+				vel[orig] = res.U
+			}
+			el := time.Since(t0).Seconds()
+			if r == 0 || el < cost[gi] {
+				cost[gi] = el
+			}
+		}
+	}
+	tree.PutInteractionList(list)
+
+	staticWall, staticImb := blockMakespan(pcost, workers)
+	stealWall, simSteals := simulateSteal(cost, workers, 0)
+
+	res := BenchPR2Result{
+		N: cfg.N, Theta: cfg.Theta, LeafCap: cfg.LeafCap, GroupCap: gcap,
+		Workers: workers, Reps: reps, Groups: len(groups),
+		RecursiveNsPerOp:            float64(recBest.Nanoseconds()),
+		ListNsPerOp:                 float64(listBest.Nanoseconds()),
+		RecursiveInteractionsPerSec: float64(recInter) / recBest.Seconds(),
+		ListInteractionsPerSec:      float64(listInter) / listBest.Seconds(),
+		Steals:                      steals,
+		StaticMakespanSec:           staticWall,
+		StealMakespanSec:            stealWall,
+		StaticImbalance:             staticImb,
+		Speedup:                     staticWall / stealWall,
+		SimSteals:                   simSteals,
+		Measurement: "per-particle recursive and per-group list costs measured serialized on the " +
+			"host; makespans replay the pre-scheduler static particle blocks and " +
+			"internal/sched's claim/steal protocol over those costs at the stated worker count",
+	}
+
+	tb := &Table{
+		Title:  "PR2 traversal/scheduling benchmark — clustered vortex sheet",
+		Header: []string{"quantity", "recursive+static", "list+stealing"},
+	}
+	tb.AddRow("serialized ns/op", f("%.3e", res.RecursiveNsPerOp), f("%.3e", res.ListNsPerOp))
+	tb.AddRow("interactions/s", f("%.3e", res.RecursiveInteractionsPerSec), f("%.3e", res.ListInteractionsPerSec))
+	tb.AddRow(f("makespan @%d workers (s)", workers), f("%.4f", res.StaticMakespanSec), f("%.4f", res.StealMakespanSec))
+	tb.AddRow("steals", "0", f("%d (sim %d)", res.Steals, res.SimSteals))
+	tb.AddNote("N=%d θ=%.2f leafcap=%d groupcap=%d groups=%d reps=%d", cfg.N, cfg.Theta, cfg.LeafCap, gcap, len(groups), reps)
+	tb.AddNote("static block imbalance max/mean %.2f → stealing speedup %.2fx", staticImb, res.Speedup)
+	return res, tb
+}
+
+// blockMakespan replays the pre-scheduler static split (contiguous
+// ceil(n/workers) blocks, as parallelRange chunks them) over measured
+// per-item costs and returns the resulting makespan and the max/mean
+// imbalance of per-worker work.
+func blockMakespan(cost []float64, workers int) (wall, imbalance float64) {
+	n := len(cost)
+	if n == 0 || workers <= 0 {
+		return 0, 0
+	}
+	if workers > n {
+		workers = n
+	}
+	chunk := (n + workers - 1) / workers
+	var sum float64
+	blocks := 0
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		var s float64
+		for i := lo; i < hi; i++ {
+			s += cost[i]
+		}
+		sum += s
+		if s > wall {
+			wall = s
+		}
+		blocks++
+	}
+	if sum <= 0 {
+		return wall, 0
+	}
+	return wall, wall / (sum / float64(blocks))
+}
+
+// simulateSteal replays internal/sched's protocol over the measured
+// per-group costs: owners claim `grain` groups from the front of their
+// range; an idle worker steals the back half of the largest range with
+// more than grain groups left. Returns the makespan and the number of
+// simulated steals. grain ≤ 0 selects the scheduler's automatic grain.
+func simulateSteal(cost []float64, workers, grain int) (stealWall float64, simSteals int) {
+	n := len(cost)
+	if n == 0 {
+		return 0, 0
+	}
+	if workers > n {
+		workers = n
+	}
+	if grain < 1 {
+		grain = n / (workers * 32) // mirror sched.Run's automatic grain
+		if grain < 1 {
+			grain = 1
+		}
+	}
+	lo := make([]int, workers)
+	hi := make([]int, workers)
+	clock := make([]float64, workers)
+	done := make([]bool, workers)
+	for w := 0; w < workers; w++ {
+		lo[w] = n * w / workers
+		hi[w] = n * (w + 1) / workers
+	}
+	for {
+		// The earliest-clock worker acts next (claims, steals, or
+		// retires). Ranges only shrink under claims and steals, so a
+		// worker that can neither claim nor steal is done for good.
+		w := -1
+		for v := 0; v < workers; v++ {
+			if !done[v] && (w < 0 || clock[v] < clock[w]) {
+				w = v
+			}
+		}
+		if w < 0 {
+			break
+		}
+		if lo[w] >= hi[w] {
+			victim, vlen := -1, grain
+			for v := 0; v < workers; v++ {
+				if v != w && hi[v]-lo[v] > vlen {
+					victim, vlen = v, hi[v]-lo[v]
+				}
+			}
+			if victim < 0 {
+				done[w] = true
+				continue
+			}
+			mid := lo[victim] + (hi[victim]-lo[victim])/2
+			lo[w], hi[w] = mid, hi[victim]
+			hi[victim] = mid
+			simSteals++
+			continue
+		}
+		take := grain
+		if take > hi[w]-lo[w] {
+			take = hi[w] - lo[w]
+		}
+		for i := lo[w]; i < lo[w]+take; i++ {
+			clock[w] += cost[i]
+		}
+		lo[w] += take
+	}
+	for _, c := range clock {
+		stealWall = math.Max(stealWall, c)
+	}
+	return stealWall, simSteals
+}
+
+// WriteJSON writes the benchmark record to path.
+func (r BenchPR2Result) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -9,6 +9,7 @@ import (
 	"repro/internal/particle"
 	"repro/internal/pfasst"
 	"repro/internal/telemetry"
+	"repro/internal/tree"
 )
 
 // PhasesConfig parameterizes the space-time phase-breakdown run.
@@ -17,6 +18,14 @@ type PhasesConfig struct {
 	N      int // particles
 	NSteps int // must be a multiple of PT
 	Seed   int64
+	// Traversal selects the tree evaluator (TraversalList is the
+	// default); StealGrain tunes the work-stealing chunk size.
+	Traversal  tree.TraversalMode
+	StealGrain int
+	// Threads > 1 selects the hybrid per-rank traversal (worker pool +
+	// communication goroutine), the path where hot.steals and
+	// hot.worker_busy are recorded.
+	Threads int
 }
 
 // DefaultPhases returns a small PFASST(2,2,2)×2 run.
@@ -34,6 +43,11 @@ func DefaultPhases() PhasesConfig {
 func SpaceTimePhases(cfg PhasesConfig) (telemetry.Snapshot, *Table) {
 	full := particle.RandomVortexBlob(cfg.N, 0.05, cfg.Seed)
 	ccfg := core.Default(cfg.PT, cfg.PS)
+	ccfg.Traversal = cfg.Traversal
+	ccfg.StealGrain = cfg.StealGrain
+	if cfg.Threads > 0 {
+		ccfg.Threads = cfg.Threads
+	}
 	var merged telemetry.Snapshot
 	var mu sync.Mutex
 	err := mpi.Run(cfg.PT*cfg.PS, func(w *mpi.Comm) error {
@@ -55,7 +69,7 @@ func SpaceTimePhases(cfg PhasesConfig) (telemetry.Snapshot, *Table) {
 	}
 	for _, name := range []string{
 		hot.PhaseDecomp, hot.PhaseBuild, hot.PhaseBranch, hot.PhaseTraverse,
-		pfasst.PhasePredictor, pfasst.PhaseIteration,
+		hot.TimerWorkerBusy, pfasst.PhasePredictor, pfasst.PhaseIteration,
 	} {
 		ts := merged.Timer(name)
 		tb.AddRow(name, f("%d", ts.Count), f("%.4f", ts.Total), f("%.4f", ts.Max))
@@ -64,7 +78,7 @@ func SpaceTimePhases(cfg PhasesConfig) (telemetry.Snapshot, *Table) {
 		pfasst.CounterFineSweeps, pfasst.CounterCoarseSweeps,
 		"core.evals.level0", "core.evals.level1",
 		hot.CounterInteractions, hot.CounterMACAccepts, hot.CounterMACRejects,
-		hot.CounterFetches, mpi.CounterSends, mpi.CounterSendBytes,
+		hot.CounterFetches, hot.CounterSteals, mpi.CounterSends, mpi.CounterSendBytes,
 	} {
 		tb.AddRow(name, f("%d", merged.Counter(name)), "", "")
 	}

@@ -81,6 +81,15 @@ type Config struct {
 	// computation and communication overlap. Values ≤ 1 select the
 	// synchronous single-threaded path.
 	Threads int
+	// Traversal selects the local evaluation strategy:
+	// tree.TraversalList (the default) amortizes one MAC walk per leaf
+	// group into near/far interaction lists and, in hybrid mode,
+	// schedules leaf groups with work stealing; tree.TraversalRecursive
+	// is the per-particle walk with static block splits.
+	Traversal tree.TraversalMode
+	// StealGrain is the work-stealing chunk size in leaf groups for the
+	// hybrid list traversal (≤0: automatic).
+	StealGrain int
 	// Tel, when non-nil, receives this rank's per-phase timings and
 	// work counters (see probe.go for the metric names). The registry
 	// must be private to the rank; merge Snapshots across ranks
@@ -95,6 +104,7 @@ type Stats struct {
 	TotalBranches int   // branch nodes in the global tree
 	Interactions  int64 // MAC-accepted cells + direct particle pairs
 	Fetches       int64 // remote cell fetch requests issued
+	Steals        int64 // work-stealing operations of the hybrid traversal
 
 	// MACAccepts and MACRejects split the traversal decisions: cells
 	// accepted as single interaction partners vs cells the MAC opened.
@@ -385,9 +395,64 @@ func (s *Solver) run(sys *particle.System, disc tree.Discipline, vel, stretch []
 		}
 		return tc
 	}
-	if rt.hybrid {
+	var groups []int32
+	if s.cfg.Traversal == tree.TraversalList && rt.ltree != nil {
+		groups = rt.ltree.LeafGroups()
+	}
+	// groupRange is the list-mode analog of traverseRange over leaf
+	// groups: one interaction-list build per group, then per-particle
+	// list evaluation (bitwise identical to the recursive walk).
+	groupRange := func(glo, ghi int, advanceDiv float64) travCounts {
+		var tc travCounts
+		hl := getHotList()
+		for gi := glo; gi < ghi; gi++ {
+			nd := &rt.ltree.Nodes[groups[gi]]
+			hl.reset()
+			gc, ge := rt.ltree.GroupBounds(nd.First, nd.Count)
+			rt.buildGroupList(hl, gc, ge)
+			for i := nd.First; i < nd.First+nd.Count; i++ {
+				q := rt.ltree.Order[i]
+				switch disc {
+				case tree.Vortex:
+					res := rt.vortexAtList(hl, local.Particles[q].Pos, q)
+					outVel[q] = res.U
+					outStr[q] = s.cfg.Scheme.Stretch(res.Grad, local.Particles[q].Alpha)
+					tc.inter += res.Interactions
+					tc.accepts += res.CellAccepts
+					tc.rejects += res.Rejects
+					workPer[q] = float64(res.Interactions)
+					if s.meter != nil {
+						comm.Advance(s.meter.Vortex(res.Interactions, advanceDiv))
+					}
+				case tree.Coulomb:
+					res := rt.coulombAtList(hl, local.Particles[q].Pos, q)
+					outPot[q] = res.Phi
+					outE[q] = res.E
+					tc.inter += res.Interactions
+					tc.accepts += res.CellAccepts
+					tc.rejects += res.Rejects
+					workPer[q] = float64(res.Interactions)
+					if s.meter != nil {
+						comm.Advance(s.meter.Coulomb(res.Interactions, advanceDiv))
+					}
+				}
+			}
+		}
+		putHotList(hl)
+		return tc
+	}
+	switch {
+	case groups != nil && rt.hybrid:
+		rt.traverseHybridSched(len(groups), groupRange)
+	case groups != nil:
+		tc := groupRange(0, len(groups), 1)
+		st.Interactions += tc.inter
+		st.MACAccepts += tc.accepts
+		st.MACRejects += tc.rejects
+		rt.finish()
+	case rt.hybrid:
 		rt.traverseHybrid(traverseRange)
-	} else {
+	default:
 		tc := traverseRange(0, local.N(), 1)
 		st.Interactions += tc.inter
 		st.MACAccepts += tc.accepts
@@ -654,8 +719,44 @@ func (rt *evalRT) cellParts(g *gcell) []particle.Particle {
 // vortexAt traverses the global tree for one local target particle.
 func (rt *evalRT) vortexAt(x vec.Vec3, skipLocal int) tree.VortexResult {
 	var res tree.VortexResult
+	rt.vortexWalk(&res, 1, x, skipLocal)
+	return res
+}
+
+// accumVortexFar folds one MAC-accepted global cell into res.
+func (rt *evalRT) accumVortexFar(res *tree.VortexResult, g *gcell, x vec.Vec3) {
+	r := x.Sub(g.nd.Centroid)
+	u, grad := rt.pw.VelocityGrad(r, g.nd.CircSum)
+	res.U = res.U.Add(u)
+	res.Grad = res.Grad.Add(grad)
+	if rt.s.cfg.Dipole {
+		res.U = res.U.Add(tree.DipoleVelocity(r, g.nd.Dipole))
+	}
+	res.Interactions++
+	res.CellAccepts++
+}
+
+// accumVortexParts folds the inline particles of a fetched remote leaf
+// into res.
+func (rt *evalRT) accumVortexParts(res *tree.VortexResult, parts []particle.Particle, x vec.Vec3) {
+	for i := range parts {
+		u, grad := rt.pw.VelocityGrad(x.Sub(parts[i].Pos), parts[i].Alpha)
+		res.U = res.U.Add(u)
+		res.Grad = res.Grad.Add(grad)
+		res.Interactions++
+	}
+}
+
+// vortexWalk runs the per-particle global traversal from the cell with
+// parent key startPk, accumulating into res (it does not reset res).
+// Local branch cells delegate to the local tree; remote cells are
+// fetched on demand. The list evaluator reuses this walk for cells
+// whose group-level MAC decision is ambiguous, which keeps both
+// evaluation strategies bitwise identical.
+func (rt *evalRT) vortexWalk(res *tree.VortexResult, startPk uint64, x vec.Vec3, skipLocal int) {
 	theta := rt.s.cfg.Theta
-	stack := []uint64{1}
+	theta2 := theta * theta
+	stack := []uint64{startPk}
 	for len(stack) > 0 {
 		pk := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
@@ -674,17 +775,8 @@ func (rt *evalRT) vortexAt(x vec.Vec3, skipLocal int) tree.VortexResult {
 			res.AddCounts(&sub)
 			continue
 		}
-		r := x.Sub(g.nd.Centroid)
-		dist := r.Norm()
-		if !g.nd.Leaf && tree.MAC(theta, g.nd.Size, dist) {
-			u, grad := rt.pw.VelocityGrad(r, g.nd.CircSum)
-			res.U = res.U.Add(u)
-			res.Grad = res.Grad.Add(grad)
-			if rt.s.cfg.Dipole {
-				res.U = res.U.Add(tree.DipoleVelocity(r, g.nd.Dipole))
-			}
-			res.Interactions++
-			res.CellAccepts++
+		if !g.nd.Leaf && tree.MACSq(theta2, g.nd.Size*g.nd.Size, x.Sub(g.nd.Centroid).Norm2()) {
+			rt.accumVortexFar(res, g, x)
 			continue
 		}
 		if g.nd.Leaf {
@@ -693,12 +785,7 @@ func (rt *evalRT) vortexAt(x vec.Vec3, skipLocal int) tree.VortexResult {
 				rt.fetch(g)
 				parts = rt.cellParts(g)
 			}
-			for i := range parts {
-				u, grad := rt.pw.VelocityGrad(x.Sub(parts[i].Pos), parts[i].Alpha)
-				res.U = res.U.Add(u)
-				res.Grad = res.Grad.Add(grad)
-				res.Interactions++
-			}
+			rt.accumVortexParts(res, parts, x)
 			continue
 		}
 		res.Rejects++
@@ -709,15 +796,42 @@ func (rt *evalRT) vortexAt(x vec.Vec3, skipLocal int) tree.VortexResult {
 		}
 		stack = append(stack, children...)
 	}
-	return res
 }
 
 // coulombAt is vortexAt for the Coulomb discipline.
 func (rt *evalRT) coulombAt(x vec.Vec3, skipLocal int) tree.CoulombResult {
 	var res tree.CoulombResult
-	theta := rt.s.cfg.Theta
+	rt.coulombWalk(&res, 1, x, skipLocal)
+	return res
+}
+
+// accumCoulombFar folds one MAC-accepted global cell into res.
+func (rt *evalRT) accumCoulombFar(res *tree.CoulombResult, g *gcell, x vec.Vec3) {
+	phi, e := tree.CoulombCell(x.Sub(g.nd.Centroid), &g.nd)
+	res.Phi += phi
+	res.E = res.E.Add(e)
+	res.Interactions++
+	res.CellAccepts++
+}
+
+// accumCoulombParts folds the inline particles of a fetched remote
+// leaf into res.
+func (rt *evalRT) accumCoulombParts(res *tree.CoulombResult, parts []particle.Particle, x vec.Vec3) {
 	eps := rt.s.cfg.Eps
-	stack := []uint64{1}
+	for i := range parts {
+		phi, e := kernel.Coulomb(x.Sub(parts[i].Pos), parts[i].Charge, eps)
+		res.Phi += phi
+		res.E = res.E.Add(e)
+		res.Interactions++
+	}
+}
+
+// coulombWalk is vortexWalk for the Coulomb discipline.
+func (rt *evalRT) coulombWalk(res *tree.CoulombResult, startPk uint64, x vec.Vec3, skipLocal int) {
+	theta := rt.s.cfg.Theta
+	theta2 := theta * theta
+	eps := rt.s.cfg.Eps
+	stack := []uint64{startPk}
 	for len(stack) > 0 {
 		pk := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
@@ -736,14 +850,8 @@ func (rt *evalRT) coulombAt(x vec.Vec3, skipLocal int) tree.CoulombResult {
 			res.AddCounts(&sub)
 			continue
 		}
-		r := x.Sub(g.nd.Centroid)
-		dist := r.Norm()
-		if !g.nd.Leaf && tree.MAC(theta, g.nd.Size, dist) {
-			phi, e := tree.CoulombCell(r, &g.nd)
-			res.Phi += phi
-			res.E = res.E.Add(e)
-			res.Interactions++
-			res.CellAccepts++
+		if !g.nd.Leaf && tree.MACSq(theta2, g.nd.Size*g.nd.Size, x.Sub(g.nd.Centroid).Norm2()) {
+			rt.accumCoulombFar(res, g, x)
 			continue
 		}
 		if g.nd.Leaf {
@@ -752,12 +860,7 @@ func (rt *evalRT) coulombAt(x vec.Vec3, skipLocal int) tree.CoulombResult {
 				rt.fetch(g)
 				parts = rt.cellParts(g)
 			}
-			for i := range parts {
-				phi, e := kernel.Coulomb(x.Sub(parts[i].Pos), parts[i].Charge, eps)
-				res.Phi += phi
-				res.E = res.E.Add(e)
-				res.Interactions++
-			}
+			rt.accumCoulombParts(res, parts, x)
 			continue
 		}
 		res.Rejects++
@@ -768,7 +871,6 @@ func (rt *evalRT) coulombAt(x vec.Vec3, skipLocal int) tree.CoulombResult {
 		}
 		stack = append(stack, children...)
 	}
-	return res
 }
 
 // fetch asks the owner of g for its children (or, for leaves, its

@@ -1,0 +1,98 @@
+package hot
+
+import (
+	"testing"
+
+	"repro/internal/mpi"
+	"repro/internal/particle"
+	"repro/internal/tree"
+	"repro/internal/vec"
+)
+
+// TestListMatchesRecursiveAcrossRanks: the interaction-list traversal
+// (the default) must be bitwise identical to the per-particle
+// recursive traversal — results AND work counters — at any rank count
+// and θ, including the fetch count (the conservative group walk opens
+// exactly the cells every particle would open).
+func TestListMatchesRecursiveAcrossRanks(t *testing.T) {
+	full := particle.SphericalVortexSheet(particle.DefaultSheet(500))
+	for _, p := range []int{1, 3, 5} {
+		for _, theta := range []float64{0, 0.45} {
+			cfgList := defaultCfg(theta)
+			cfgList.Traversal = tree.TraversalList
+			cfgRec := defaultCfg(theta)
+			cfgRec.Traversal = tree.TraversalRecursive
+			velL, strL, stL := runEval(t, full, p, cfgList)
+			velR, strR, stR := runEval(t, full, p, cfgRec)
+			for i := range velL {
+				if velL[i] != velR[i] || strL[i] != strR[i] {
+					t.Fatalf("p=%d θ=%.2f: particle %d differs: list %v/%v recursive %v/%v",
+						p, theta, i, velL[i], strL[i], velR[i], strR[i])
+				}
+			}
+			if stL.Interactions != stR.Interactions || stL.MACAccepts != stR.MACAccepts ||
+				stL.MACRejects != stR.MACRejects || stL.Fetches != stR.Fetches {
+				t.Fatalf("p=%d θ=%.2f: counters differ: list %+v recursive %+v", p, theta, stL, stR)
+			}
+		}
+	}
+}
+
+// TestHybridListStealingDeterminism: with the work-stealing scheduler
+// active (Threads > 1) the results must stay bitwise identical to the
+// synchronous run, over repeated evaluations — the schedule varies,
+// the sums do not.
+func TestHybridListStealingDeterminism(t *testing.T) {
+	full := particle.SphericalVortexSheet(particle.DefaultSheet(400))
+	cfgSync := defaultCfg(0.4)
+	velS, strS, _ := runEval(t, full, 2, cfgSync)
+	cfgHyb := defaultCfg(0.4)
+	cfgHyb.Threads = 4
+	cfgHyb.StealGrain = 1
+	for rep := 0; rep < 3; rep++ {
+		velH, strH, _ := runEval(t, full, 2, cfgHyb)
+		for i := range velH {
+			if velH[i] != velS[i] || strH[i] != strS[i] {
+				t.Fatalf("rep %d: hybrid stealing changed particle %d: %v vs %v", rep, i, velH[i], velS[i])
+			}
+		}
+	}
+}
+
+// TestCoulombListMatchesRecursive: same bitwise agreement for the
+// Coulomb discipline.
+func TestCoulombListMatchesRecursive(t *testing.T) {
+	full := particle.HomogeneousCoulomb(300, 5)
+	const p = 3
+	run := func(mode tree.TraversalMode) ([]float64, []vec.Vec3) {
+		n := full.N()
+		pot := make([]float64, n)
+		f := make([]vec.Vec3, n)
+		err := mpi.Run(p, func(c *mpi.Comm) error {
+			local := BlockPartition(full, c.Rank(), p)
+			lp := make([]float64, local.N())
+			lf := make([]vec.Vec3, local.N())
+			cfg := defaultCfg(0.5)
+			cfg.Eps = 0.01
+			cfg.Traversal = mode
+			s := New(c, cfg)
+			s.Coulomb(local, lp, lf)
+			base := n * c.Rank() / p
+			copy(pot[base:], lp)
+			copy(f[base:], lf)
+			c.Barrier()
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pot, f
+	}
+	potL, fL := run(tree.TraversalList)
+	potR, fR := run(tree.TraversalRecursive)
+	for i := range potL {
+		if potL[i] != potR[i] || fL[i] != fR[i] {
+			t.Fatalf("particle %d differs: list %v/%v recursive %v/%v", i, potL[i], fL[i], potR[i], fR[i])
+		}
+	}
+}

@@ -21,10 +21,20 @@ const (
 	CounterMACRejects   = "hot.mac_rejects"
 	CounterP2P          = "hot.p2p"
 	CounterFetches      = "hot.fetches"
+	// CounterSteals counts successful work-stealing operations of the
+	// hybrid traversal's scheduler (zero in synchronous or recursive
+	// mode). Deliberately NOT part of the determinism regression: the
+	// steal count depends on OS scheduling, the results do not.
+	CounterSteals = "hot.steals"
 
 	GaugeNLocal        = "hot.nlocal"
 	GaugeBranchesTotal = "hot.branches_total"
 	GaugeImbalance     = "hot.work_imbalance"
+
+	// TimerWorkerBusy accumulates per-worker busy seconds of the
+	// traversal scheduler (one observation per worker per evaluation);
+	// Max/mean of its spans is the residual node-level imbalance.
+	TimerWorkerBusy = "hot.worker_busy"
 )
 
 // probe holds the solver's pre-resolved metric handles. With a nil
@@ -32,8 +42,9 @@ const (
 // zero-allocation disabled path.
 type probe struct {
 	decomp, build, branch, traverse *telemetry.Timer
+	workerBusy                      *telemetry.Timer
 
-	evals, interactions, macAccepts, macRejects, p2p, fetches *telemetry.Counter
+	evals, interactions, macAccepts, macRejects, p2p, fetches, steals *telemetry.Counter
 
 	nlocal, branchesTotal, imbalance *telemetry.Gauge
 }
@@ -44,12 +55,14 @@ func newProbe(reg *telemetry.Registry) probe {
 		build:         reg.Timer(PhaseBuild),
 		branch:        reg.Timer(PhaseBranch),
 		traverse:      reg.Timer(PhaseTraverse),
+		workerBusy:    reg.Timer(TimerWorkerBusy).WithoutPprofLabel(),
 		evals:         reg.Counter(CounterEvals),
 		interactions:  reg.Counter(CounterInteractions),
 		macAccepts:    reg.Counter(CounterMACAccepts),
 		macRejects:    reg.Counter(CounterMACRejects),
 		p2p:           reg.Counter(CounterP2P),
 		fetches:       reg.Counter(CounterFetches),
+		steals:        reg.Counter(CounterSteals),
 		nlocal:        reg.Gauge(GaugeNLocal),
 		branchesTotal: reg.Gauge(GaugeBranchesTotal),
 		imbalance:     reg.Gauge(GaugeImbalance),
@@ -65,6 +78,7 @@ func (pb *probe) record(st *Stats) {
 	pb.macRejects.Add(st.MACRejects)
 	pb.p2p.Add(st.Interactions - st.MACAccepts)
 	pb.fetches.Add(st.Fetches)
+	pb.steals.Add(st.Steals)
 	pb.nlocal.Set(float64(st.NLocal))
 	pb.branchesTotal.Set(float64(st.TotalBranches))
 	pb.imbalance.Set(st.WorkImbalance)

@@ -36,6 +36,14 @@ const hSwitch = 0.02
 
 // h evaluates H(ρ) = (ρ q'(ρ) − 3 q(ρ))/ρ⁵.
 func (pw Pairwise) h(rho float64) float64 {
+	return pw.hWithQ(rho, pw.Sm.Q(rho))
+}
+
+// hWithQ is h for callers that already hold q(ρ): VelocityGrad needs
+// q(ρ) for the velocity anyway, and reusing it here removes one of the
+// two q evaluations from the innermost loop of every interaction
+// (bitwise-neutral — both call sites computed the identical value).
+func (pw Pairwise) hWithQ(rho, q float64) float64 {
 	if rho < hSwitch {
 		// Series: q = 4π(ζ0 ρ³/3 + ζ2 ρ⁵/5 + ζ4 ρ⁷/7 + ζ6 ρ⁹/9 + …)
 		// ⇒ ρq' − 3q = 4π((2/5)ζ2 ρ⁵ + (4/7)ζ4 ρ⁷ + (6/9)ζ6 ρ⁹ + …).
@@ -44,7 +52,7 @@ func (pw Pairwise) h(rho float64) float64 {
 		return 4 * math.Pi * (2.0/5*z[1] + r2*(4.0/7*z[2]+r2*(6.0/9*z[3])))
 	}
 	r5 := rho * rho * rho * rho * rho
-	return (rho*pw.Sm.QPrime(rho) - 3*pw.Sm.Q(rho)) / r5
+	return (rho*pw.Sm.QPrime(rho) - 3*q) / r5
 }
 
 // Velocity returns the velocity induced at the target by a source with
@@ -70,14 +78,15 @@ func (pw Pairwise) VelocityGrad(r, alpha vec.Vec3) (vec.Vec3, vec.Mat3) {
 	}
 	d := math.Sqrt(d2)
 	rho := d / pw.Sigma
-	f := pw.Sm.Q(rho) / (d2 * d)
+	q := pw.Sm.Q(rho)
+	f := q / (d2 * d)
 	inv4pi := 1 / (4 * math.Pi)
 
 	rxA := r.Cross(alpha)
 	u := rxA.Scale(-f * inv4pi)
 
 	s5 := pw.Sigma * pw.Sigma * pw.Sigma * pw.Sigma * pw.Sigma
-	fpOverR := pw.h(rho) / s5
+	fpOverR := pw.hWithQ(rho, q) / s5
 
 	grad := vec.Outer(rxA, r).Scale(-fpOverR * inv4pi)
 	// ε_{ijl} α_l term: matrix M with M v = v × α.

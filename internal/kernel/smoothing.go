@@ -62,9 +62,26 @@ type algebraic struct {
 func (k *algebraic) Name() string { return k.name }
 func (k *algebraic) Order() int   { return k.order }
 
+// powNegHalfInt computes u^(−(n+½)) = 1/(uⁿ·√u) for u > 0 by repeated
+// multiplication. Every kernel of the algebraic family has a
+// half-integer exponent, and this form avoids math.Pow's exp/log round
+// trip in the innermost loop of every interaction (it agrees with
+// math.Pow to a few ulp, far below the kernels' 1e-6 accuracy budget).
+func powNegHalfInt(u float64, n int) float64 {
+	prod := math.Sqrt(u)
+	for ; n > 0; n-- {
+		prod *= u
+	}
+	return 1 / prod
+}
+
 func (k *algebraic) Zeta(rho float64) float64 {
 	x := rho * rho
-	return (k.a + x*(k.b+x*k.c)) / (4 * math.Pi) * math.Pow(1+x, -k.p)
+	n := int(k.p)
+	if k.p != float64(n)+0.5 { // non-half-integer exponent: general path
+		return (k.a + x*(k.b+x*k.c)) / (4 * math.Pi) * math.Pow(1+x, -k.p)
+	}
+	return (k.a + x*(k.b+x*k.c)) / (4 * math.Pi) * powNegHalfInt(1+x, n)
 }
 
 func (k *algebraic) QPrime(rho float64) float64 {

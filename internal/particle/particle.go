@@ -223,6 +223,63 @@ func RandomVortexBlob(n int, sigma float64, seed int64) *System {
 	return sys
 }
 
+// ClusteredVortexSheet builds the late-time analog of the Fig. 1
+// evolution: half the particles form the smooth spherical vortex sheet
+// and half the turbulent debris cloud shed by the roll-up below it — a
+// deterministic self-similar cascade (clusters of clusters over several
+// scales, the particle analog of a power-law vorticity spectrum).
+// Targets inside the cascade see cells failing the MAC at every scale,
+// so their tree walks are several times more expensive than sheet
+// targets' — exactly the clustered regime where static work splits
+// load-imbalance and the paper's dynamically scheduled traversal pays
+// off. The layout is deterministic (Fibonacci lattice on the sheet,
+// golden-spiral offsets in the cascade).
+func ClusteredVortexSheet(n int) *System {
+	ns := n / 2
+	sys := SphericalVortexSheet(DefaultSheet(n - ns))
+	const (
+		coreR  = 0.3  // outermost cascade scale
+		coreZ  = -6   // cloud center far downstream of the sphere
+		lam    = 0.18 // per-level shrink factor
+		branch = 8    // clusters per level
+		levels = 5    // cascade depth
+	)
+	// Golden-spiral points on the unit sphere: the cluster offsets
+	// reused at every scale.
+	golden := math.Pi * (3 - math.Sqrt(5))
+	offs := make([]vec.Vec3, branch)
+	for j := 0; j < branch; j++ {
+		z := 1 - (2*float64(j)+1)/float64(branch)
+		sinT := math.Sqrt(1 - z*z)
+		phi := golden * float64(j)
+		offs[j] = vec.V3(sinT*math.Cos(phi), sinT*math.Sin(phi), z)
+	}
+	circ := 4 * math.Pi / float64(n)
+	for i := 0; i < ns; i++ {
+		// The base-`branch` digits of i select one cluster per level,
+		// fastest digit at the coarsest scale so every coarse cluster
+		// fills evenly.
+		pos := vec.V3(0, 0, coreZ)
+		d := i
+		scale := coreR
+		for k := 0; k < levels; k++ {
+			pos = pos.Add(offs[d%branch].Scale(scale))
+			d /= branch
+			scale *= lam
+		}
+		// Swirling vorticity about the cloud axis, scaled like the
+		// sheet's α = ω h².
+		phi := math.Atan2(pos.Y, pos.X)
+		sys.Particles = append(sys.Particles, Particle{
+			Pos:   pos,
+			Alpha: vec.V3(-math.Sin(phi), math.Cos(phi), 0).Scale(circ),
+			Vol:   circ,
+			Label: sys.N(),
+		})
+	}
+	return sys
+}
+
 // ScaledSheet returns the sheet configuration for scaled-down
 // reproductions: n particles with the paper's *absolute* core size
 // σ = 18.53·h(N=10,000) ≈ 0.657, preserving the reference dynamics

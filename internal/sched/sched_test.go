@@ -1,0 +1,92 @@
+package sched
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunCoversEveryIndexOnce(t *testing.T) {
+	for _, tc := range []struct{ workers, n, grain int }{
+		{1, 100, 7},
+		{4, 1000, 0},
+		{4, 1000, 1},
+		{8, 37, 5},
+		{16, 3, 0},  // more workers than items
+		{3, 1, 100}, // grain larger than n
+		{0, 500, 0}, // auto workers
+	} {
+		seen := make([]atomic.Int32, tc.n)
+		st := Run(tc.workers, tc.n, tc.grain, func(_, lo, hi int) {
+			if lo < 0 || hi > tc.n || lo >= hi {
+				t.Errorf("workers=%d n=%d grain=%d: bad chunk [%d,%d)", tc.workers, tc.n, tc.grain, lo, hi)
+			}
+			for i := lo; i < hi; i++ {
+				seen[i].Add(1)
+			}
+		})
+		for i := range seen {
+			if got := seen[i].Load(); got != 1 {
+				t.Fatalf("workers=%d n=%d grain=%d: index %d processed %d times", tc.workers, tc.n, tc.grain, i, got)
+			}
+		}
+		if st.Workers < 1 || len(st.Busy) != st.Workers {
+			t.Errorf("workers=%d n=%d grain=%d: bad stats %+v", tc.workers, tc.n, tc.grain, st)
+		}
+	}
+}
+
+func TestRunEmpty(t *testing.T) {
+	called := false
+	st := Run(4, 0, 1, func(_, _, _ int) { called = true })
+	if called || st.Workers != 0 || st.Steals != 0 {
+		t.Fatalf("empty run misbehaved: called=%v stats=%+v", called, st)
+	}
+}
+
+func TestRunChunksRespectGrain(t *testing.T) {
+	Run(4, 1000, 16, func(_, lo, hi int) {
+		if hi-lo > 16 {
+			t.Errorf("chunk [%d,%d) exceeds grain 16", lo, hi)
+		}
+	})
+}
+
+func TestRunStealsUnderImbalance(t *testing.T) {
+	// All the cost sits in the first quarter of the index space (the
+	// first worker's initial range); the other workers must steal to
+	// finish it. A tiny spin keeps the imbalance real without making
+	// the test slow.
+	const n = 4096
+	var sink atomic.Int64
+	st := Run(4, n, 8, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if i < n/4 {
+				s := int64(0)
+				for k := 0; k < 20000; k++ {
+					s += int64(k ^ i)
+				}
+				sink.Add(s)
+			}
+		}
+	})
+	if st.Workers != 4 {
+		t.Fatalf("expected 4 workers, got %d", st.Workers)
+	}
+	if st.Steals == 0 {
+		t.Errorf("expected steals under a 4:1 load imbalance, got none")
+	}
+}
+
+func TestMaxOverMean(t *testing.T) {
+	if got := (Stats{}).MaxOverMean(); got != 0 {
+		t.Errorf("empty stats: got %g", got)
+	}
+	s := Stats{Busy: []float64{1, 1, 1, 1}}
+	if got := s.MaxOverMean(); got != 1 {
+		t.Errorf("balanced: got %g", got)
+	}
+	s = Stats{Busy: []float64{3, 1}}
+	if got := s.MaxOverMean(); got != 1.5 {
+		t.Errorf("imbalanced: got %g", got)
+	}
+}

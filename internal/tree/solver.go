@@ -9,12 +9,17 @@ import (
 	"repro/internal/field"
 	"repro/internal/kernel"
 	"repro/internal/particle"
+	"repro/internal/sched"
 	"repro/internal/vec"
 )
 
 // Solver is the Barnes-Hut evaluator: every Eval rebuilds the tree for
 // the current particle positions (as PEPC does per force evaluation)
-// and traverses it once per target particle.
+// and evaluates the field at every target particle. By default targets
+// are processed leaf group by leaf group through the two-phase
+// interaction-list evaluator (see interaction.go) with work-stealing
+// scheduling; Traversal selects the classic per-particle recursive
+// walk instead.
 type Solver struct {
 	// Sm and Scheme select the smoothing kernel and stretching form.
 	Sm     kernel.Smoothing
@@ -31,6 +36,18 @@ type Solver struct {
 	// MAC selects the acceptance criterion (default: classical
 	// Barnes-Hut, the paper's choice).
 	MAC MACKind
+	// Traversal selects the evaluator: TraversalList (default) builds
+	// one interaction list per leaf group and schedules groups with
+	// work stealing; TraversalRecursive is the per-particle walk with
+	// static block splits.
+	Traversal TraversalMode
+	// StealGrain is the work-stealing chunk size in leaf groups (≤0:
+	// automatic, ~4 chunks per worker).
+	StealGrain int
+	// GroupCap bounds the particles per target group of the list
+	// evaluator (≤0: max(LeafCap, 8)). Groups larger than a leaf
+	// amortize one list-build walk over several leaf cells.
+	GroupCap int
 
 	evals        atomic.Int64
 	interactions atomic.Int64
@@ -38,6 +55,9 @@ type Solver struct {
 	// LastTree is the tree of the most recent Eval (for inspection by
 	// experiments); it is overwritten on every call.
 	LastTree *Tree
+	// LastSched is the scheduler report of the most recent Eval (zero
+	// in recursive mode): steal count and per-worker busy seconds.
+	LastSched sched.Stats
 }
 
 // NewSolver returns a tree evaluator with the given kernel, stretching
@@ -72,18 +92,56 @@ func (s *Solver) Eval(sys *particle.System, vel, stretch []vec.Vec3) {
 	s.LastTree = t
 	pw := kernel.Pairwise{Sm: s.Sm, Sigma: sys.Sigma}
 	var inter atomic.Int64
-	s.parallelRange(n, func(lo, hi int) {
+	if s.Traversal == TraversalRecursive {
+		s.LastSched = sched.Stats{}
+		s.parallelRange(n, func(lo, hi int) {
+			var local int64
+			for q := lo; q < hi; q++ {
+				p := &sys.Particles[q]
+				res := t.VortexAtNodeMAC(s.MAC, t.Root, p.Pos, s.Theta, q, pw, s.Dipole)
+				vel[q] = res.U
+				stretch[q] = s.Scheme.Stretch(res.Grad, p.Alpha)
+				local += res.Interactions
+			}
+			inter.Add(local)
+		})
+		s.interactions.Add(inter.Load())
+		return
+	}
+	groups := t.Groups(s.groupCap())
+	s.LastSched = sched.Run(s.Workers, len(groups), s.StealGrain, func(_, lo, hi int) {
+		list := GetInteractionList()
 		var local int64
-		for q := lo; q < hi; q++ {
-			p := &sys.Particles[q]
-			res := t.VortexAtNodeMAC(s.MAC, t.Root, p.Pos, s.Theta, q, pw, s.Dipole)
-			vel[q] = res.U
-			stretch[q] = s.Scheme.Stretch(res.Grad, p.Alpha)
-			local += res.Interactions
+		for gi := lo; gi < hi; gi++ {
+			g := groups[gi]
+			nd := &t.Nodes[g]
+			list.Reset()
+			gc, ge := t.GroupBounds(nd.First, nd.Count)
+			t.AppendInteractionList(list, s.MAC, s.Theta, int32(t.Root), gc, ge)
+			for i := nd.First; i < nd.First+nd.Count; i++ {
+				orig := t.Order[i]
+				p := &sys.Particles[orig]
+				res := t.EvalVortexList(list, s.MAC, s.Theta, p.Pos, orig, pw, s.Dipole)
+				vel[orig] = res.U
+				stretch[orig] = s.Scheme.Stretch(res.Grad, p.Alpha)
+				local += res.Interactions
+			}
 		}
+		PutInteractionList(list)
 		inter.Add(local)
 	})
 	s.interactions.Add(inter.Load())
+}
+
+// groupCap is the effective target-group size of the list evaluator.
+func (s *Solver) groupCap() int {
+	if s.GroupCap > 0 {
+		return s.GroupCap
+	}
+	if s.LeafCap > 8 {
+		return s.LeafCap
+	}
+	return 8
 }
 
 // Coulomb evaluates the softened Coulomb potential and field for all
@@ -97,14 +155,40 @@ func (s *Solver) Coulomb(sys *particle.System, eps float64, pot []float64, f []v
 	t := Build(sys, BuildConfig{LeafCap: s.LeafCap, Discipline: Coulomb})
 	s.LastTree = t
 	var inter atomic.Int64
-	s.parallelRange(n, func(lo, hi int) {
+	if s.Traversal == TraversalRecursive {
+		s.LastSched = sched.Stats{}
+		s.parallelRange(n, func(lo, hi int) {
+			var local int64
+			for q := lo; q < hi; q++ {
+				res := t.CoulombAt(sys.Particles[q].Pos, s.Theta, eps, q)
+				pot[q] = res.Phi
+				f[q] = res.E
+				local += res.Interactions
+			}
+			inter.Add(local)
+		})
+		s.interactions.Add(inter.Load())
+		return
+	}
+	groups := t.Groups(s.groupCap())
+	s.LastSched = sched.Run(s.Workers, len(groups), s.StealGrain, func(_, lo, hi int) {
+		list := GetInteractionList()
 		var local int64
-		for q := lo; q < hi; q++ {
-			res := t.CoulombAt(sys.Particles[q].Pos, s.Theta, eps, q)
-			pot[q] = res.Phi
-			f[q] = res.E
-			local += res.Interactions
+		for gi := lo; gi < hi; gi++ {
+			g := groups[gi]
+			nd := &t.Nodes[g]
+			list.Reset()
+			gc, ge := t.GroupBounds(nd.First, nd.Count)
+			t.AppendInteractionList(list, MACBarnesHut, s.Theta, int32(t.Root), gc, ge)
+			for i := nd.First; i < nd.First+nd.Count; i++ {
+				orig := t.Order[i]
+				res := t.EvalCoulombList(list, s.Theta, eps, sys.Particles[orig].Pos, orig)
+				pot[orig] = res.Phi
+				f[orig] = res.E
+				local += res.Interactions
+			}
 		}
+		PutInteractionList(list)
 		inter.Add(local)
 	})
 	s.interactions.Add(inter.Load())

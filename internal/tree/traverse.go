@@ -2,6 +2,7 @@ package tree
 
 import (
 	"math"
+	"sync"
 
 	"repro/internal/kernel"
 	"repro/internal/vec"
@@ -14,6 +15,13 @@ import (
 // leaves.
 func MAC(theta, size, dist float64) bool {
 	return dist > 0 && size <= theta*dist
+}
+
+// MACSq is MAC on squared quantities: size² ≤ θ²·d² with d² > 0. The
+// hot paths use this form so the accept/reject decision needs no
+// square root; callers precompute theta2 = θ² once per traversal.
+func MACSq(theta2, size2, dist2 float64) bool {
+	return dist2 > 0 && size2 <= theta2*dist2
 }
 
 // MACKind selects among the acceptance criteria discussed in the
@@ -48,25 +56,50 @@ func (k MACKind) String() string {
 // Accepts applies the criterion to a cell for a target at x; dist is
 // the precomputed distance from x to the cell centroid.
 func (k MACKind) Accepts(theta float64, nd *Node, x vec.Vec3, dist float64) bool {
+	return k.acceptsSq(theta*theta, nd, x, dist*dist)
+}
+
+// acceptsSq is the square-distance form of Accepts — the single
+// per-particle acceptance predicate shared by the recursive traversal
+// and the interaction-list evaluator (both must take identical
+// decisions for the two to agree bitwise). r2 is |x − centroid|².
+func (k MACKind) acceptsSq(theta2 float64, nd *Node, x vec.Vec3, r2 float64) bool {
 	switch k {
 	case MACBMax:
-		return dist > 0 && nd.BMax <= theta*dist
+		return MACSq(theta2, nd.BMax*nd.BMax, r2)
 	case MACMinDist:
-		return MAC(theta, nd.Size, boxDistance(nd, x))
+		return MACSq(theta2, nd.Size*nd.Size, boxDistance2(nd, x))
 	default:
-		return MAC(theta, nd.Size, dist)
+		return MACSq(theta2, nd.Size*nd.Size, r2)
 	}
 }
 
 // boxDistance returns the distance from x to the surface of the cell's
 // axis-aligned box (zero when x is inside).
 func boxDistance(nd *Node, x vec.Vec3) float64 {
+	return math.Sqrt(boxDistance2(nd, x))
+}
+
+// boxDistance2 is the squared boxDistance; the MAC hot path compares
+// squared distances so the square root is never taken for a pure
+// accept/reject decision.
+func boxDistance2(nd *Node, x vec.Vec3) float64 {
 	h := nd.Size / 2
 	dx := math.Max(0, math.Abs(x.X-nd.Center.X)-h)
 	dy := math.Max(0, math.Abs(x.Y-nd.Center.Y)-h)
 	dz := math.Max(0, math.Abs(x.Z-nd.Center.Z)-h)
-	return math.Sqrt(dx*dx + dy*dy + dz*dz)
+	return dx*dx + dy*dy + dz*dz
 }
+
+// stackPool recycles traversal stacks across walks; per-call stack
+// allocations would otherwise dominate the allocation profile of a
+// force evaluation (one walk per target, thousands of targets).
+var stackPool = sync.Pool{
+	New: func() any { s := make([]int32, 0, 128); return &s },
+}
+
+func getStack() *[]int32  { return stackPool.Get().(*[]int32) }
+func putStack(s *[]int32) { *s = (*s)[:0]; stackPool.Put(s) }
 
 // VortexResult accumulates the velocity and velocity gradient at one
 // target point.
@@ -130,8 +163,54 @@ func (t *Tree) VortexAtNode(start int, x vec.Vec3, theta float64, skipOrig int, 
 // criterion (reference [30] variants).
 func (t *Tree) VortexAtNodeMAC(mac MACKind, start int, x vec.Vec3, theta float64, skipOrig int, pw kernel.Pairwise, useDipole bool) VortexResult {
 	var res VortexResult
-	stack := make([]int32, 0, 64)
-	stack = append(stack, int32(start))
+	t.AccumVortexWalk(&res, mac, int32(start), x, theta, skipOrig, pw, useDipole)
+	return res
+}
+
+// AccumVortexFar folds one MAC-accepted cell into res — the multipole
+// (monopole + optional dipole) contribution of node nd at target x.
+// It is the far-field leg shared by the recursive traversal and the
+// interaction-list evaluator.
+func (t *Tree) AccumVortexFar(res *VortexResult, node int32, x vec.Vec3, pw kernel.Pairwise, useDipole bool) {
+	nd := &t.Nodes[node]
+	r := x.Sub(nd.Centroid)
+	u, g := pw.VelocityGrad(r, nd.CircSum)
+	res.U = res.U.Add(u)
+	res.Grad = res.Grad.Add(g)
+	if useDipole {
+		res.U = res.U.Add(DipoleVelocity(r, nd.Dipole))
+	}
+	res.Interactions++
+	res.CellAccepts++
+}
+
+// AccumVortexNear folds the particles of leaf `node` into res by
+// direct summation, skipping the particle with original index
+// skipOrig — the near-field leg shared by both evaluators.
+func (t *Tree) AccumVortexNear(res *VortexResult, node int32, x vec.Vec3, skipOrig int, pw kernel.Pairwise) {
+	nd := &t.Nodes[node]
+	for i := nd.First; i < nd.First+nd.Count; i++ {
+		orig := t.Order[i]
+		if orig == skipOrig {
+			continue
+		}
+		p := &t.sys.Particles[orig]
+		u, g := pw.VelocityGrad(x.Sub(p.Pos), p.Alpha)
+		res.U = res.U.Add(u)
+		res.Grad = res.Grad.Add(g)
+		res.Interactions++
+	}
+}
+
+// AccumVortexWalk runs the per-particle MAC traversal of the subtree
+// rooted at start, accumulating into res (it does not reset res). The
+// interaction-list evaluator calls this for cells whose group-level
+// accept/open decision is ambiguous, so both evaluators sum exactly
+// the same terms in exactly the same order.
+func (t *Tree) AccumVortexWalk(res *VortexResult, mac MACKind, start int32, x vec.Vec3, theta float64, skipOrig int, pw kernel.Pairwise, useDipole bool) {
+	theta2 := theta * theta
+	sp := getStack()
+	stack := append(*sp, start)
 	for len(stack) > 0 {
 		idx := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
@@ -139,41 +218,24 @@ func (t *Tree) VortexAtNodeMAC(mac MACKind, start int, x vec.Vec3, theta float64
 		if nd.Count == 0 {
 			continue
 		}
-		r := x.Sub(nd.Centroid)
-		dist := r.Norm()
-		if !nd.Leaf && mac.Accepts(theta, nd, x, dist) {
-			u, g := pw.VelocityGrad(r, nd.CircSum)
-			res.U = res.U.Add(u)
-			res.Grad = res.Grad.Add(g)
-			if useDipole {
-				res.U = res.U.Add(DipoleVelocity(r, nd.Dipole))
+		if !nd.Leaf {
+			r2 := x.Sub(nd.Centroid).Norm2()
+			if mac.acceptsSq(theta2, nd, x, r2) {
+				t.AccumVortexFar(res, idx, x, pw, useDipole)
+				continue
 			}
-			res.Interactions++
-			res.CellAccepts++
-			continue
-		}
-		if nd.Leaf {
-			for i := nd.First; i < nd.First+nd.Count; i++ {
-				orig := t.Order[i]
-				if orig == skipOrig {
-					continue
+			res.Rejects++
+			for _, ci := range nd.Children {
+				if ci >= 0 {
+					stack = append(stack, ci)
 				}
-				p := &t.sys.Particles[orig]
-				u, g := pw.VelocityGrad(x.Sub(p.Pos), p.Alpha)
-				res.U = res.U.Add(u)
-				res.Grad = res.Grad.Add(g)
-				res.Interactions++
 			}
 			continue
 		}
-		res.Rejects++
-		for _, ci := range nd.Children {
-			if ci >= 0 {
-				stack = append(stack, ci)
-			}
-		}
+		t.AccumVortexNear(res, idx, x, skipOrig, pw)
 	}
-	return res
+	*sp = stack
+	putStack(sp)
 }
 
 // CoulombResult accumulates potential and field at one target point.
@@ -227,8 +289,45 @@ func (t *Tree) CoulombAt(x vec.Vec3, theta, eps float64, skipOrig int) CoulombRe
 // given node index.
 func (t *Tree) CoulombAtNode(start int, x vec.Vec3, theta, eps float64, skipOrig int) CoulombResult {
 	var res CoulombResult
-	stack := make([]int32, 0, 64)
-	stack = append(stack, int32(start))
+	t.AccumCoulombWalk(&res, int32(start), x, theta, eps, skipOrig)
+	return res
+}
+
+// AccumCoulombFar folds one MAC-accepted cell's multipole expansion
+// into res.
+func (t *Tree) AccumCoulombFar(res *CoulombResult, node int32, x vec.Vec3) {
+	nd := &t.Nodes[node]
+	phi, e := CoulombCell(x.Sub(nd.Centroid), nd)
+	res.Phi += phi
+	res.E = res.E.Add(e)
+	res.Interactions++
+	res.CellAccepts++
+}
+
+// AccumCoulombNear folds the particles of leaf `node` into res by
+// direct summation.
+func (t *Tree) AccumCoulombNear(res *CoulombResult, node int32, x vec.Vec3, eps float64, skipOrig int) {
+	nd := &t.Nodes[node]
+	for i := nd.First; i < nd.First+nd.Count; i++ {
+		orig := t.Order[i]
+		if orig == skipOrig {
+			continue
+		}
+		p := &t.sys.Particles[orig]
+		phi, e := kernel.Coulomb(x.Sub(p.Pos), p.Charge, eps)
+		res.Phi += phi
+		res.E = res.E.Add(e)
+		res.Interactions++
+	}
+}
+
+// AccumCoulombWalk runs the per-particle Coulomb traversal (classical
+// Barnes-Hut MAC) of the subtree rooted at start, accumulating into
+// res.
+func (t *Tree) AccumCoulombWalk(res *CoulombResult, start int32, x vec.Vec3, theta, eps float64, skipOrig int) {
+	theta2 := theta * theta
+	sp := getStack()
+	stack := append(*sp, start)
 	for len(stack) > 0 {
 		idx := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
@@ -236,38 +335,24 @@ func (t *Tree) CoulombAtNode(start int, x vec.Vec3, theta, eps float64, skipOrig
 		if nd.Count == 0 {
 			continue
 		}
-		r := x.Sub(nd.Centroid)
-		dist := r.Norm()
-		if !nd.Leaf && MAC(theta, nd.Size, dist) {
-			phi, e := CoulombCell(r, nd)
-			res.Phi += phi
-			res.E = res.E.Add(e)
-			res.Interactions++
-			res.CellAccepts++
-			continue
-		}
-		if nd.Leaf {
-			for i := nd.First; i < nd.First+nd.Count; i++ {
-				orig := t.Order[i]
-				if orig == skipOrig {
-					continue
+		if !nd.Leaf {
+			r2 := x.Sub(nd.Centroid).Norm2()
+			if MACSq(theta2, nd.Size*nd.Size, r2) {
+				t.AccumCoulombFar(res, idx, x)
+				continue
+			}
+			res.Rejects++
+			for _, ci := range nd.Children {
+				if ci >= 0 {
+					stack = append(stack, ci)
 				}
-				p := &t.sys.Particles[orig]
-				phi, e := kernel.Coulomb(x.Sub(p.Pos), p.Charge, eps)
-				res.Phi += phi
-				res.E = res.E.Add(e)
-				res.Interactions++
 			}
 			continue
 		}
-		res.Rejects++
-		for _, ci := range nd.Children {
-			if ci >= 0 {
-				stack = append(stack, ci)
-			}
-		}
+		t.AccumCoulombNear(res, idx, x, eps, skipOrig)
 	}
-	return res
+	*sp = stack
+	putStack(sp)
 }
 
 // VortexAtSplit is VortexAtNode with the result separated into the
@@ -285,8 +370,9 @@ func (t *Tree) CoulombAtNode(start int, x vec.Vec3, theta, eps float64, skipOrig
 // own leaf always fails the MAC (the target sits inside the cell, so
 // s/d > 1), hence self-interactions cannot leak into the far part.
 func (t *Tree) VortexAtSplit(start int, x vec.Vec3, theta float64, skipOrig int, pw kernel.Pairwise, useDipole, computeFar bool) (near, far VortexResult) {
-	stack := make([]int32, 0, 64)
-	stack = append(stack, int32(start))
+	theta2 := theta * theta
+	sp := getStack()
+	stack := append(*sp, int32(start))
 	for len(stack) > 0 {
 		idx := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
@@ -295,8 +381,7 @@ func (t *Tree) VortexAtSplit(start int, x vec.Vec3, theta float64, skipOrig int,
 			continue
 		}
 		r := x.Sub(nd.Centroid)
-		dist := r.Norm()
-		if MAC(theta, nd.Size, dist) {
+		if MACSq(theta2, nd.Size*nd.Size, r.Norm2()) {
 			if computeFar {
 				u, g := pw.VelocityGrad(r, nd.CircSum)
 				far.U = far.U.Add(u)
@@ -330,5 +415,7 @@ func (t *Tree) VortexAtSplit(start int, x vec.Vec3, theta float64, skipOrig int,
 			}
 		}
 	}
+	*sp = stack
+	putStack(sp)
 	return near, far
 }

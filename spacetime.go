@@ -10,6 +10,7 @@ import (
 	"repro/internal/mpi"
 	"repro/internal/particle"
 	"repro/internal/telemetry"
+	"repro/internal/tree"
 )
 
 // RunStats is a merged telemetry snapshot of a run: counters summed
@@ -44,6 +45,14 @@ type SpaceTimeConfig struct {
 	// Threads enables the hybrid per-rank traversal (PEPC's Pthreads
 	// analog); ≤1 is synchronous.
 	Threads int
+	// Traversal selects the tree evaluation strategy: "" or "list" for
+	// the two-phase interaction-list evaluator (the default), or
+	// "recursive" for the per-particle walk with static splits.
+	Traversal string
+	// StealGrain tunes the work-stealing chunk size (leaf groups per
+	// claim) of the hybrid list traversal; ≤0 selects an automatic
+	// grain.
+	StealGrain int
 	// Modeled enables the Blue Gene/P virtual clocks; ModeledSeconds of
 	// the result is then meaningful.
 	Modeled bool
@@ -98,6 +107,12 @@ func RunSpaceTime(cfg SpaceTimeConfig, sys *System, t0, t1 float64, nsteps int) 
 	}
 	ccfg.Tol = cfg.Tol
 	ccfg.Threads = cfg.Threads
+	trav, err := tree.ParseTraversal(cfg.Traversal)
+	if err != nil {
+		return nil, SpaceTimeStats{}, err
+	}
+	ccfg.Traversal = trav
+	ccfg.StealGrain = cfg.StealGrain
 	var model machine.CostModel
 	if cfg.Modeled {
 		model = machine.BlueGeneP()
@@ -137,7 +152,6 @@ func RunSpaceTime(cfg SpaceTimeConfig, sys *System, t0, t1 float64, nsteps int) 
 		return nil
 	}
 
-	var err error
 	if cfg.Modeled {
 		stats.ModeledSeconds, err = mpi.RunTimed(cfg.PT*cfg.PS, mpi.BlueGeneP(), runner)
 	} else {
