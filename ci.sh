@@ -26,3 +26,14 @@ go test -race ./...
 # Benchmark smoke lane: one iteration each, just to keep the benchmark
 # drivers compiling and running.
 go test -bench . -benchtime 1x -run '^$' ./...
+
+# Chaos lane: the fault-injection and resilience suites once more under
+# the race detector, -count=1 so cached passes don't mask flakiness in
+# the recovery protocol. Time-bounded by -timeout rather than test count.
+go test -race -count=1 -timeout 10m \
+  -run 'Chaos|Resilien|Crash|HardLoss|Leak|Deadline|Shrink|Agree|Torn|Levels|Fault' \
+  ./internal/fault/ ./internal/mpi/ ./internal/checkpoint/ ./internal/pfasst/ .
+
+# Checkpoint fuzz smoke: a few seconds of mutated NBLV headers against
+# the checked reader — corruption must surface as errors, never panics.
+go test -run '^$' -fuzz FuzzReadLevels -fuzztime 10s ./internal/checkpoint/

@@ -8,6 +8,8 @@
 //	experiments -fig 7a         # a single figure: 1, 5, 7a, 7b, 8
 //	experiments -exp theta-ratio|residuals|speedup-model|phases
 //	experiments -exp bench-pr2  # traversal benchmark (writes BENCH_PR2.json; not part of "all")
+//	experiments -exp chaos      # fault-injection matrix (writes BENCH_PR3.json; not part of "all")
+//	experiments -exp chaos -faultseed 7 -faultplan "drop=0.1,crash=2@iter:1"  # custom crash plan
 //	experiments -traversal recursive -exp phases  # per-particle walk instead of interaction lists
 //	experiments -stealgrain 4 -exp phases         # work-stealing chunk size (leaf groups)
 //	experiments -threads 4 -exp phases            # hybrid per-rank worker pool (steals visible)
@@ -35,7 +37,10 @@ func main() {
 	log.SetPrefix("experiments: ")
 	var (
 		fig        = flag.String("fig", "", "figure to regenerate: 1, 5, 7a, 7b, 8 (empty = all)")
-		exp        = flag.String("exp", "", "extra experiment: theta-ratio, residuals, speedup-model, ablations, phases, bench-pr2")
+		exp        = flag.String("exp", "", "extra experiment: theta-ratio, residuals, speedup-model, ablations, phases, bench-pr2, chaos")
+		faultSeed  = flag.Int64("faultseed", 42, "fault-plan seed of the chaos experiment")
+		faultPlan  = flag.String("faultplan", "", "override the chaos experiment's crash plan (fault.Parse spec)")
+		chaosOut   = flag.String("chaosout", "BENCH_PR3.json", "output path of the chaos record")
 		traversal  = flag.String("traversal", "", `tree traversal mode: "list" (default) or "recursive"`)
 		stealGrain = flag.Int("stealgrain", 0, "work-stealing chunk size in leaf groups (0 = automatic)")
 		threads    = flag.Int("threads", 0, "traversal worker goroutines per rank (>1 = hybrid scheduler; phases experiment)")
@@ -145,6 +150,25 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("wrote %s\n\n", *benchOut)
+	}
+	// chaos is opt-in only: it runs the space-time solver through a
+	// seeded fault matrix (clean, transient chaos, rank crash) on the
+	// resilient PFASST loop and records BENCH_PR3.json.
+	if strings.EqualFold(*exp, "chaos") {
+		ccfg := experiments.DefaultBenchPR3()
+		ccfg.Seed = *faultSeed
+		if *faultPlan != "" {
+			ccfg.CrashPlan = *faultPlan
+		}
+		res, tb, err := experiments.BenchPR3(ccfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		emit("bench_pr3", tb)
+		if err := res.WriteJSON(*chaosOut); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n\n", *chaosOut)
 	}
 	fig7cfg := experiments.DefaultFig7()
 	if *paper {

@@ -123,17 +123,32 @@ func Read(r io.Reader) (*particle.System, error) {
 	return sys, nil
 }
 
-// Save writes the system to a file (atomically via a temporary file in
-// the same directory).
-func Save(path string, sys *particle.System) error {
-	tmp, err := os.CreateTemp(dirOf(path), ".nbck-*")
+// WriteFile atomically replaces path with the bytes produced by write.
+// The payload goes to a temporary file in the same directory, is
+// fsynced to stable storage, and only then renamed over path; the
+// directory entry is fsynced afterwards so the rename itself survives
+// a crash. A failure at any point — including a torn write or a crash
+// mid-stream — leaves any previous file at path untouched, which is
+// what makes checkpoints safe to overwrite in place from a fault
+// handler.
+func WriteFile(path string, write func(io.Writer) error) error {
+	dir := dirOf(path)
+	tmp, err := os.CreateTemp(dir, ".nbck-*")
 	if err != nil {
 		return fmt.Errorf("checkpoint: %w", err)
 	}
 	defer os.Remove(tmp.Name())
-	if err := Write(tmp, sys); err != nil {
+	var w io.Writer = tmp
+	if testTornWrite != nil {
+		w = testTornWrite(tmp)
+	}
+	if err := write(w); err != nil {
 		tmp.Close()
 		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("checkpoint: sync: %w", err)
 	}
 	if err := tmp.Close(); err != nil {
 		return fmt.Errorf("checkpoint: %w", err)
@@ -141,7 +156,20 @@ func Save(path string, sys *particle.System) error {
 	if err := os.Rename(tmp.Name(), path); err != nil {
 		return fmt.Errorf("checkpoint: %w", err)
 	}
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
 	return nil
+}
+
+// testTornWrite, when non-nil, wraps the temporary file's writer so
+// tests can simulate a crash partway through a checkpoint write.
+var testTornWrite func(io.Writer) io.Writer
+
+// Save writes the system to a file (atomically, see WriteFile).
+func Save(path string, sys *particle.System) error {
+	return WriteFile(path, func(w io.Writer) error { return Write(w, sys) })
 }
 
 // Load reads a system from a file.

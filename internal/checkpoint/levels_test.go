@@ -1,0 +1,210 @@
+package checkpoint
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/particle"
+)
+
+func TestLevelsRoundTrip(t *testing.T) {
+	st := &LevelState{
+		Block:     3,
+		StepsDone: 12,
+		TimeRanks: 4,
+		T:         0.75,
+		U: [][]float64{
+			{1.5, -2.25, 3.125, 0},
+			{0.5, 0.25},
+		},
+	}
+	var buf bytes.Buffer
+	if err := WriteLevels(&buf, st); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadLevels(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Block != st.Block || got.StepsDone != st.StepsDone ||
+		got.TimeRanks != st.TimeRanks || got.T != st.T {
+		t.Fatalf("header mismatch: %+v", got)
+	}
+	if len(got.U) != len(st.U) {
+		t.Fatalf("level count %d", len(got.U))
+	}
+	for l := range st.U {
+		for i := range st.U[l] {
+			if got.U[l][i] != st.U[l][i] {
+				t.Fatalf("level %d elem %d: %g vs %g", l, i, got.U[l][i], st.U[l][i])
+			}
+		}
+	}
+}
+
+func TestLevelsCorruptionDetected(t *testing.T) {
+	st := &LevelState{Block: 1, StepsDone: 4, TimeRanks: 2, T: 0.5, U: [][]float64{{1, 2, 3}}}
+	var buf bytes.Buffer
+	if err := WriteLevels(&buf, st); err != nil {
+		t.Fatal(err)
+	}
+	clean := buf.Bytes()
+
+	// Flip one payload byte: the checksum must catch it.
+	for _, idx := range []int{5, 20, 50, len(clean) - 9} {
+		tampered := append([]byte(nil), clean...)
+		tampered[idx] ^= 0x40
+		if _, err := ReadLevels(bytes.NewReader(tampered)); err == nil {
+			t.Fatalf("byte %d flip went undetected", idx)
+		}
+	}
+	// Truncation at every prefix length must error, not panic.
+	for n := 0; n < len(clean); n += 7 {
+		if _, err := ReadLevels(bytes.NewReader(clean[:n])); err == nil {
+			t.Fatalf("truncation to %d bytes went undetected", n)
+		}
+	}
+}
+
+func TestLevelsImplausibleHeaderBounds(t *testing.T) {
+	// A header claiming 2^40 elements with no payload must be rejected
+	// quickly without attempting the allocation.
+	var buf bytes.Buffer
+	st := &LevelState{U: [][]float64{{1}}}
+	if err := WriteLevels(&buf, st); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	raw[4+44+4] = 0xff // dim field of level 0 → huge
+	if _, err := ReadLevels(bytes.NewReader(raw)); err == nil {
+		t.Fatal("huge dim accepted")
+	}
+}
+
+func TestSaveLoadLevels(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "block.nblv")
+	st := &LevelState{Block: 7, StepsDone: 28, TimeRanks: 4, T: 1.75, U: [][]float64{{9, 8, 7}}}
+	if err := SaveLevels(path, st); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadLevels(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Block != 7 || got.U[0][2] != 7 {
+		t.Fatalf("loaded %+v", got)
+	}
+	if _, err := LoadLevels(filepath.Join(t.TempDir(), "absent")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+// tornWriter fails permanently after n bytes, simulating a crash in
+// the middle of writing a checkpoint.
+type tornWriter struct {
+	w    io.Writer
+	left int
+}
+
+var errTorn = errors.New("simulated crash mid-write")
+
+func (t *tornWriter) Write(p []byte) (int, error) {
+	if t.left <= 0 {
+		return 0, errTorn
+	}
+	if len(p) > t.left {
+		n, _ := t.w.Write(p[:t.left])
+		t.left = 0
+		return n, errTorn
+	}
+	t.left -= len(p)
+	return t.w.Write(p)
+}
+
+// TestTornWritePreservesPreviousCheckpoint is the torn-write
+// regression test: a crash midway through an overwrite must leave the
+// previous checkpoint file fully intact and loadable.
+func TestTornWritePreservesPreviousCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "state.nbck")
+	sys := particle.RandomVortexBlob(31, 0.4, 3)
+	if err := Save(path, sys); err != nil {
+		t.Fatal(err)
+	}
+	before, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Now crash partway through an overwrite with different contents.
+	testTornWrite = func(w io.Writer) io.Writer { return &tornWriter{w: w, left: 40} }
+	defer func() { testTornWrite = nil }()
+	sys2 := particle.RandomVortexBlob(31, 0.4, 4)
+	if err := Save(path, sys2); err == nil {
+		t.Fatal("torn save reported success")
+	}
+
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("previous checkpoint gone: %v", err)
+	}
+	if !bytes.Equal(before, after) {
+		t.Fatal("previous checkpoint bytes changed by a failed overwrite")
+	}
+	if _, err := Load(path); err != nil {
+		t.Fatalf("previous checkpoint unreadable: %v", err)
+	}
+	// No temp litter left behind.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("directory has %d entries after failed save", len(entries))
+	}
+}
+
+func TestTornLevelSaveToo(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "b.nblv")
+	st := &LevelState{Block: 1, U: [][]float64{{1, 2}}}
+	if err := SaveLevels(path, st); err != nil {
+		t.Fatal(err)
+	}
+	testTornWrite = func(w io.Writer) io.Writer { return &tornWriter{w: w, left: 10} }
+	defer func() { testTornWrite = nil }()
+	if err := SaveLevels(path, &LevelState{Block: 2, U: [][]float64{{3, 4}}}); err == nil {
+		t.Fatal("torn save reported success")
+	}
+	got, err := LoadLevels(path)
+	if err != nil || got.Block != 1 {
+		t.Fatalf("previous level checkpoint damaged: %v %+v", err, got)
+	}
+}
+
+// FuzzReadLevels hardens the level reader the same way FuzzRead covers
+// the particle reader: arbitrary bytes must produce a clean error or a
+// valid state, never a panic or unbounded allocation.
+func FuzzReadLevels(f *testing.F) {
+	var seed bytes.Buffer
+	_ = WriteLevels(&seed, &LevelState{
+		Block: 2, StepsDone: 8, TimeRanks: 4, T: 0.5,
+		U: [][]float64{{1, 2, 3}, {4}},
+	})
+	f.Add(seed.Bytes())
+	f.Add([]byte("NBLV"))
+	f.Add([]byte{})
+	huge := append([]byte("NBLV"), make([]byte, 44)...)
+	huge[4] = 1    // version
+	huge[43] = 0x7 // nLevels high byte → large
+	f.Add(huge)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		st, err := ReadLevels(bytes.NewReader(data))
+		if err == nil && st == nil {
+			t.Fatal("nil state without error")
+		}
+	})
+}

@@ -172,6 +172,11 @@ type Config struct {
 	// counters). Each rank needs its own registry; merge the Snapshots
 	// afterwards.
 	Tel *telemetry.Registry
+	// Resilience selects PFASST's fault-tolerant execution path
+	// (checkpointed blocks, bounded-wait receives, shrink-and-redo
+	// recovery). Crash recovery is supported for PS = 1: the time
+	// communicator can shrink, the spatial one cannot.
+	Resilience pfasst.Resilience
 }
 
 // Default returns the paper's configuration PFASST(2,2,·) with
@@ -256,6 +261,7 @@ func RunSpaceTime(world *mpi.Comm, cfg Config, full *particle.System, t0, t1 flo
 		CoarseSweeps: cfg.CoarseSweeps,
 		Tol:          cfg.Tol,
 		Tel:          cfg.Tel,
+		Resilience:   cfg.Resilience,
 	}
 	u0 := local.PackNew()
 	pres, err := pfasst.Run(timeComm, pcfg, t0, t1, nsteps, u0)

@@ -1,0 +1,246 @@
+package experiments
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/machine"
+	"repro/internal/mpi"
+	"repro/internal/particle"
+	"repro/internal/pfasst"
+	"repro/internal/telemetry"
+)
+
+// BenchPR3Config parameterizes the chaos/resilience benchmark: the
+// space-time solver (PT time ranks, PS=1) on the vortex blob under
+// virtual Blue Gene/P clocks, run through a fault matrix — no faults,
+// transient chaos, and a mid-block rank crash — with the resilient
+// PFASST loop absorbing what the plan throws at it.
+type BenchPR3Config struct {
+	N     int // particles
+	PT    int // time ranks (spatial parallelism stays 1: crash recovery)
+	Steps int // time steps
+
+	Seed          int64  // fault-plan seed
+	TransientPlan string // fault.Parse spec without a crash
+	CrashPlan     string // fault.Parse spec with a crash
+}
+
+// DefaultBenchPR3 returns the configuration recorded in BENCH_PR3.json.
+func DefaultBenchPR3() BenchPR3Config {
+	return BenchPR3Config{
+		N: 1000, PT: 4, Steps: 8,
+		Seed:          42,
+		TransientPlan: "drop=0.05,delay=0.1:50us,corrupt=0.02",
+		CrashPlan:     "crash=1@iter:1",
+	}
+}
+
+// BenchPR3Result is the machine-readable chaos benchmark record
+// (BENCH_PR3.json). Times are modeled Blue Gene/P seconds (virtual
+// clocks), so the overhead ratios are host-independent.
+type BenchPR3Result struct {
+	N     int   `json:"n"`
+	PT    int   `json:"pt"`
+	Steps int   `json:"steps"`
+	Seed  int64 `json:"seed"`
+
+	TransientPlan string `json:"transient_plan"`
+	CrashPlan     string `json:"crash_plan"`
+
+	// Modeled parallel seconds per scenario.
+	BaselineModeledSec  float64 `json:"baseline_modeled_sec"`
+	ResilientModeledSec float64 `json:"resilient_modeled_sec"`
+	TransientModeledSec float64 `json:"transient_modeled_sec"`
+	CrashModeledSec     float64 `json:"crash_modeled_sec"`
+
+	// Overheads relative to the plain fault-free baseline.
+	ResilientOverhead float64 `json:"resilient_overhead"`
+	TransientOverhead float64 `json:"transient_overhead"`
+	CrashOverhead     float64 `json:"crash_overhead"`
+
+	// Correctness: the resilient and transient runs must be bitwise
+	// identical to the baseline; the crash run completes degraded, so
+	// it reports its maximum position deviation instead.
+	ResilientBitwise  bool    `json:"resilient_bitwise"`
+	TransientBitwise  bool    `json:"transient_bitwise"`
+	CrashMaxDeviation float64 `json:"crash_max_deviation"`
+
+	// Fault telemetry of the transient and crash runs.
+	TransientInjected   int64 `json:"transient_injected"`
+	TransientRecovered  int64 `json:"transient_recovered"`
+	CrashInjected       int64 `json:"crash_injected"`
+	CrashDegradedBlocks int64 `json:"crash_degraded_blocks"`
+	CrashBlockRestarts  int64 `json:"crash_block_restarts"`
+	CrashShrinks        int64 `json:"crash_shrinks"`
+
+	Measurement string `json:"measurement"`
+}
+
+// chaosCase runs the space-time solver once under a fault plan and
+// returns the advanced system (from the highest surviving time slice),
+// the modeled parallel seconds, and the merged telemetry snapshot.
+func chaosCase(cfg BenchPR3Config, plan *fault.Plan, resilient bool) (*particle.System, float64, telemetry.Snapshot, error) {
+	sys := particle.RandomVortexBlob(cfg.N, 0.2, 9)
+	model := machine.BlueGeneP()
+	ccfg := core.Default(cfg.PT, 1)
+	ccfg.Model = &model
+	if resilient {
+		ccfg.Resilience = pfasst.Resilience{Enabled: true, RecvTimeout: 30 * time.Second}
+	}
+
+	var merged telemetry.Snapshot
+	var out *particle.System
+	outSlice := -1
+	opts := mpi.Options{Timed: true, TM: mpi.BlueGeneP()}
+	if plan != nil && !plan.Empty() {
+		opts.Fault = plan
+	}
+	var mu sync.Mutex
+	vt, err := mpi.RunOpts(cfg.PT, opts, func(w *mpi.Comm) error {
+		rcfg := ccfg
+		rcfg.Tel = telemetry.New()
+		res, err := core.RunSpaceTime(w, rcfg, sys, 0, 0.2, cfg.Steps)
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		merged.Merge(rcfg.Tel.Snapshot())
+		if res.TimeSlice > outSlice {
+			outSlice = res.TimeSlice
+			out = res.Local
+		}
+		return nil
+	})
+	if err != nil && plan != nil && !plan.Transient() {
+		// A planned crash is expected; anything else is a failure.
+		var rest []error
+		if joined, ok := err.(interface{ Unwrap() []error }); ok {
+			for _, e := range joined.Unwrap() {
+				if !errors.Is(e, mpi.ErrInjectedCrash) {
+					rest = append(rest, e)
+				}
+			}
+			err = errors.Join(rest...)
+		} else if errors.Is(err, mpi.ErrInjectedCrash) {
+			err = nil
+		}
+	}
+	if err != nil {
+		return nil, 0, merged, err
+	}
+	if out == nil {
+		return nil, 0, merged, fmt.Errorf("no surviving rank produced output")
+	}
+	return out, vt, merged, nil
+}
+
+func bitwiseEqual(a, b *particle.System) bool {
+	if a.N() != b.N() {
+		return false
+	}
+	for i := range a.Particles {
+		if a.Particles[i] != b.Particles[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func maxPosDeviation(a, b *particle.System) float64 {
+	var maxd float64
+	for i := range a.Particles {
+		if d := a.Particles[i].Pos.Sub(b.Particles[i].Pos).Norm(); d > maxd {
+			maxd = d
+		}
+	}
+	return maxd
+}
+
+// BenchPR3 runs the chaos matrix and renders it as a table.
+func BenchPR3(cfg BenchPR3Config) (BenchPR3Result, *Table, error) {
+	tplan, err := fault.Parse(cfg.TransientPlan, cfg.Seed)
+	if err != nil {
+		return BenchPR3Result{}, nil, err
+	}
+	if !tplan.Transient() {
+		return BenchPR3Result{}, nil, fmt.Errorf("transient plan %q contains a crash", cfg.TransientPlan)
+	}
+	cplan, err := fault.Parse(cfg.CrashPlan, cfg.Seed)
+	if err != nil {
+		return BenchPR3Result{}, nil, err
+	}
+
+	base, baseVT, _, err := chaosCase(cfg, nil, false)
+	if err != nil {
+		return BenchPR3Result{}, nil, fmt.Errorf("baseline: %w", err)
+	}
+	resil, resilVT, _, err := chaosCase(cfg, nil, true)
+	if err != nil {
+		return BenchPR3Result{}, nil, fmt.Errorf("resilient clean: %w", err)
+	}
+	trans, transVT, transSnap, err := chaosCase(cfg, tplan, true)
+	if err != nil {
+		return BenchPR3Result{}, nil, fmt.Errorf("transient chaos: %w", err)
+	}
+	crash, crashVT, crashSnap, err := chaosCase(cfg, cplan, true)
+	if err != nil {
+		return BenchPR3Result{}, nil, fmt.Errorf("crash recovery: %w", err)
+	}
+
+	res := BenchPR3Result{
+		N: cfg.N, PT: cfg.PT, Steps: cfg.Steps, Seed: cfg.Seed,
+		TransientPlan:       cfg.TransientPlan,
+		CrashPlan:           cfg.CrashPlan,
+		BaselineModeledSec:  baseVT,
+		ResilientModeledSec: resilVT,
+		TransientModeledSec: transVT,
+		CrashModeledSec:     crashVT,
+		ResilientOverhead:   resilVT / baseVT,
+		TransientOverhead:   transVT / baseVT,
+		CrashOverhead:       crashVT / baseVT,
+		ResilientBitwise:    bitwiseEqual(base, resil),
+		TransientBitwise:    bitwiseEqual(base, trans),
+		CrashMaxDeviation:   maxPosDeviation(base, crash),
+		TransientInjected:   transSnap.Counter(mpi.CounterFaultInjected),
+		TransientRecovered:  transSnap.Counter(mpi.CounterFaultRecovered),
+		CrashInjected:       crashSnap.Counter(mpi.CounterFaultInjected),
+		CrashDegradedBlocks: crashSnap.Counter(pfasst.CounterDegradedBlocks),
+		CrashBlockRestarts:  crashSnap.Counter(pfasst.CounterBlockRestarts),
+		CrashShrinks:        crashSnap.Counter(pfasst.CounterShrinks),
+		Measurement: "modeled Blue Gene/P seconds (virtual clocks) of the PT×1 space-time solver " +
+			"on the vortex blob; overheads are relative to the plain fault-free baseline; " +
+			"the crash scenario kills one time rank mid-block and completes degraded",
+	}
+
+	tb := &Table{
+		Title:  "PR3 chaos benchmark — resilient PFASST under a seeded fault matrix",
+		Header: []string{"scenario", "modeled s", "overhead", "result"},
+	}
+	tb.AddRow("baseline (plain)", f("%.4f", baseVT), "1.00", "reference")
+	tb.AddRow("resilient, no faults", f("%.4f", resilVT), f("%.2f", res.ResilientOverhead),
+		f("bitwise=%v", res.ResilientBitwise))
+	tb.AddRow("transient chaos", f("%.4f", transVT), f("%.2f", res.TransientOverhead),
+		f("bitwise=%v injected=%d recovered=%d", res.TransientBitwise, res.TransientInjected, res.TransientRecovered))
+	tb.AddRow("rank crash", f("%.4f", crashVT), f("%.2f", res.CrashOverhead),
+		f("max dev %.2e restarts=%d degraded=%d", res.CrashMaxDeviation, res.CrashBlockRestarts, res.CrashDegradedBlocks))
+	tb.AddNote("N=%d PT=%d steps=%d seed=%d", cfg.N, cfg.PT, cfg.Steps, cfg.Seed)
+	tb.AddNote("transient plan %q; crash plan %q", cfg.TransientPlan, cfg.CrashPlan)
+	return res, tb, nil
+}
+
+// WriteJSON writes the benchmark record to path.
+func (r BenchPR3Result) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,120 @@
+package fault
+
+import (
+	"math"
+	"testing"
+)
+
+func TestParseRoundTrip(t *testing.T) {
+	p, err := Parse("drop=0.05,delay=0.1:50us,corrupt=0.02,crash=1@iter:2,retries=4,backoff=7us", 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.DropProb != 0.05 || p.DelayProb != 0.1 || p.CorruptProb != 0.02 {
+		t.Fatalf("probs: %+v", p)
+	}
+	if math.Abs(p.DelaySeconds-50e-6) > 1e-12 {
+		t.Fatalf("delay seconds %g", p.DelaySeconds)
+	}
+	if p.CrashRank != 1 || p.CrashPhase != "iter" || p.CrashEpoch != 2 {
+		t.Fatalf("crash: %+v", p)
+	}
+	if p.MaxRetries != 4 || math.Abs(p.RetryBackoff-7e-6) > 1e-12 {
+		t.Fatalf("retries/backoff: %+v", p)
+	}
+	if !p.CrashAt(1, "iter", 2) || p.CrashAt(0, "iter", 2) || p.CrashAt(1, "block", 2) {
+		t.Fatal("CrashAt mismatch")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, spec := range []string{
+		"drop=2", "drop=x", "bogus=1", "crash=1", "crash=x@iter:0",
+		"crash=1@iter", "corrupt=0.1:weird", "delay", "backoff=zz",
+	} {
+		if _, err := Parse(spec, 0); err == nil {
+			t.Errorf("spec %q: expected error", spec)
+		}
+	}
+}
+
+func TestEmptyPlan(t *testing.T) {
+	p, err := Parse("", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Empty() || !p.Transient() {
+		t.Fatalf("empty spec should be empty plan: %+v", p)
+	}
+	v := p.Message(0, 1, 5, 0, 8)
+	if v.Injected || v.Lost || v.ExtraDelay != 0 {
+		t.Fatalf("empty plan injected a fault: %+v", v)
+	}
+}
+
+func TestVerdictsDeterministic(t *testing.T) {
+	p, _ := Parse("drop=0.2,delay=0.3:20us,corrupt=0.1", 123)
+	for seq := uint64(0); seq < 200; seq++ {
+		a := p.Message(0, 1, 9, seq, 64)
+		b := p.Message(0, 1, 9, seq, 64)
+		if a != b {
+			t.Fatalf("seq %d: verdicts differ: %+v vs %+v", seq, a, b)
+		}
+	}
+	// Different seeds must give different fault patterns.
+	q, _ := Parse("drop=0.2,delay=0.3:20us,corrupt=0.1", 124)
+	same := 0
+	const n = 500
+	for seq := uint64(0); seq < n; seq++ {
+		if p.Message(0, 1, 9, seq, 64) == q.Message(0, 1, 9, seq, 64) {
+			same++
+		}
+	}
+	if same == n {
+		t.Fatal("seed change did not change the fault pattern")
+	}
+}
+
+func TestInjectionRatesRoughlyMatch(t *testing.T) {
+	p, _ := Parse("drop=0.2", 5)
+	injected, lost := 0, 0
+	const n = 20000
+	for seq := uint64(0); seq < n; seq++ {
+		v := p.Message(2, 3, 7, seq, 128)
+		if v.Injected {
+			injected++
+		}
+		if v.Lost {
+			lost++
+		}
+	}
+	rate := float64(injected) / n
+	if rate < 0.15 || rate > 0.25 {
+		t.Fatalf("drop injection rate %.3f far from 0.2", rate)
+	}
+	// p^(retries+1) = 0.2^7 ≈ 1.3e-5: a hard loss should be very rare.
+	if lost > 5 {
+		t.Fatalf("%d hard losses out of %d messages", lost, n)
+	}
+	// A recovered drop must carry backoff latency.
+	for seq := uint64(0); seq < n; seq++ {
+		v := p.Message(2, 3, 7, seq, 128)
+		if v.Recovered && v.ExtraDelay <= 0 {
+			t.Fatalf("seq %d: recovered without backoff", seq)
+		}
+	}
+}
+
+func TestLeakCorruptTruncates(t *testing.T) {
+	p, _ := Parse("corrupt=1:leak", 1)
+	v := p.Message(0, 1, 2, 3, 16)
+	if !v.Injected || !v.CorruptTruncate || v.Recovered {
+		t.Fatalf("leak verdict: %+v", v)
+	}
+	// Absorbed mode instead recovers with backoff.
+	q, _ := Parse("corrupt=1", 1)
+	v = q.Message(0, 1, 2, 3, 16)
+	if !v.Injected || !v.Recovered || v.CorruptTruncate || v.ExtraDelay <= 0 {
+		t.Fatalf("absorbed verdict: %+v", v)
+	}
+}

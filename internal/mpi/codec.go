@@ -16,16 +16,29 @@ func Float64sToBytes(x []float64) []byte {
 }
 
 // BytesToFloat64s decodes a little-endian float64 slice; the byte
-// length must be a multiple of 8.
+// length must be a multiple of 8 (it panics otherwise — use
+// BytesToFloat64sChecked on paths that can receive corrupt payloads).
 func BytesToFloat64s(b []byte) []float64 {
+	out, err := BytesToFloat64sChecked(b)
+	if err != nil {
+		panic("mpi: " + err.Error())
+	}
+	return out
+}
+
+// BytesToFloat64sChecked is the non-panicking decoder used on receive
+// paths that can see injected-corrupt payloads (leak-mode fault plans
+// tear one byte off a message): a torn buffer yields a typed error
+// instead of a panic, mirroring decodeBlocksChecked.
+func BytesToFloat64sChecked(b []byte) ([]float64, error) {
 	if len(b)%8 != 0 {
-		panic("mpi: float64 payload length not a multiple of 8")
+		return nil, fmt.Errorf("float64 payload length %d not a multiple of 8", len(b))
 	}
 	out := make([]float64, len(b)/8)
 	for i := range out {
 		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
 	}
-	return out
+	return out, nil
 }
 
 // Int64sToBytes encodes an int64 slice little-endian.
@@ -37,16 +50,26 @@ func Int64sToBytes(x []int64) []byte {
 	return out
 }
 
-// BytesToInt64s decodes a little-endian int64 slice.
+// BytesToInt64s decodes a little-endian int64 slice (panics on a torn
+// buffer — use BytesToInt64sChecked where corruption is possible).
 func BytesToInt64s(b []byte) []int64 {
+	out, err := BytesToInt64sChecked(b)
+	if err != nil {
+		panic("mpi: " + err.Error())
+	}
+	return out
+}
+
+// BytesToInt64sChecked is the non-panicking int64 decoder.
+func BytesToInt64sChecked(b []byte) ([]int64, error) {
 	if len(b)%8 != 0 {
-		panic("mpi: int64 payload length not a multiple of 8")
+		return nil, fmt.Errorf("int64 payload length %d not a multiple of 8", len(b))
 	}
 	out := make([]int64, len(b)/8)
 	for i := range out {
 		out[i] = int64(binary.LittleEndian.Uint64(b[8*i:]))
 	}
-	return out
+	return out, nil
 }
 
 // Uint64sToBytes encodes a uint64 slice little-endian.
@@ -58,16 +81,27 @@ func Uint64sToBytes(x []uint64) []byte {
 	return out
 }
 
-// BytesToUint64s decodes a little-endian uint64 slice.
+// BytesToUint64s decodes a little-endian uint64 slice (panics on a
+// torn buffer — use BytesToUint64sChecked where corruption is
+// possible).
 func BytesToUint64s(b []byte) []uint64 {
+	out, err := BytesToUint64sChecked(b)
+	if err != nil {
+		panic("mpi: " + err.Error())
+	}
+	return out
+}
+
+// BytesToUint64sChecked is the non-panicking uint64 decoder.
+func BytesToUint64sChecked(b []byte) ([]uint64, error) {
 	if len(b)%8 != 0 {
-		panic("mpi: uint64 payload length not a multiple of 8")
+		return nil, fmt.Errorf("uint64 payload length %d not a multiple of 8", len(b))
 	}
 	out := make([]uint64, len(b)/8)
 	for i := range out {
 		out[i] = binary.LittleEndian.Uint64(b[8*i:])
 	}
-	return out
+	return out, nil
 }
 
 // SendFloat64s sends a float64 slice.

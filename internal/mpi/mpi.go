@@ -30,7 +30,9 @@ const AnySource = -1
 const AnyTag = -1
 
 // ErrDeadlock is the panic value delivered to every blocked rank when
-// the runtime detects that all live ranks are blocked.
+// the runtime detects that all live ranks are blocked. The delivered
+// error wraps ErrDeadlock and lists which ranks are blocked on which
+// (src, tag) pairs; match it with errors.Is.
 var ErrDeadlock = errors.New("mpi: deadlock detected (all ranks blocked)")
 
 // TimeModel holds the LogGP-style parameters of the virtual clock.
@@ -53,12 +55,26 @@ type message struct {
 	src, tag int
 	data     []byte
 	sendVT   float64
+	// extraVT is added modeled latency injected by a fault policy
+	// (delays and retransmit backoff); zero on the fault-free path.
+	extraVT float64
 }
 
 type mailbox struct {
 	cond sync.Cond
 	msgs []message
 }
+
+// waitInfo records what a blocked rank is waiting for — the epoch it
+// observed plus the (src, tag) pair of the pending receive (world src,
+// AnySource/AnyTag wildcards; src == agreeWait marks an Agree).
+type waitInfo struct {
+	epoch    uint64
+	src, tag int
+}
+
+// agreeWait is the waitInfo src marker for ranks blocked in Agree.
+const agreeWait = -2
 
 type world struct {
 	mu     sync.Mutex
@@ -72,6 +88,17 @@ type world struct {
 	tel    []*commProbe // telemetry probe per world rank (nil = off)
 	allBox func()       // broadcast all conds (set in newWorld)
 
+	// Fault injection (nil fault = disabled, zero cost): the policy is
+	// consulted once per send under w.mu with a per-(src,dst) sequence
+	// number, so verdicts are deterministic regardless of goroutine
+	// interleaving. dead marks ranks that panicked (injected crashes
+	// and genuine bugs alike) so RecvDeadline can fail fast instead of
+	// blocking forever.
+	fault FaultPolicy
+	seq   []uint64 // per (src*size+dst) message sequence numbers
+	dead  []bool
+	agree map[agreeKey]*agreeSlot
+
 	// Deadlock detection: every send increments epoch; a rank that
 	// scans its mailbox without a match registers in waiting with the
 	// epoch it observed. The world is deadlocked exactly when every
@@ -79,14 +106,18 @@ type world struct {
 	// means a message arrived after the scan and the rank has a wakeup
 	// pending.
 	epoch   uint64
-	waiting map[int]uint64
+	waiting map[int]waitInfo
 }
 
-func newWorld(size int, timed bool, tm TimeModel) *world {
-	w := &world{size: size, live: size, timed: timed, tm: tm,
-		waiting: make(map[int]uint64)}
+func newWorld(size int, timed bool, tm TimeModel, fault FaultPolicy) *world {
+	w := &world{size: size, live: size, timed: timed, tm: tm, fault: fault,
+		waiting: make(map[int]waitInfo)}
 	w.vt = make([]float64, size)
 	w.tel = make([]*commProbe, size)
+	w.dead = make([]bool, size)
+	if fault != nil {
+		w.seq = make([]uint64, size*size)
+	}
 	w.boxes = make([]*mailbox, size)
 	for i := range w.boxes {
 		w.boxes[i] = &mailbox{}
@@ -114,12 +145,46 @@ func (w *world) deadlocked() bool {
 	if w.live == 0 || len(w.waiting) < w.live {
 		return false
 	}
-	for _, e := range w.waiting {
-		if e != w.epoch {
+	for _, wi := range w.waiting {
+		if wi.epoch != w.epoch {
 			return false
 		}
 	}
 	return true
+}
+
+// deadlockError builds the diagnostic error delivered on deadlock: it
+// wraps ErrDeadlock and reports, per blocked rank, the (src, tag) pair
+// it is waiting on. Must hold w.mu.
+func (w *world) deadlockError() error {
+	var sb []byte
+	for r := 0; r < w.size; r++ {
+		wi, ok := w.waiting[r]
+		if !ok {
+			continue
+		}
+		if len(sb) > 0 {
+			sb = append(sb, "; "...)
+		}
+		switch {
+		case wi.src == agreeWait:
+			sb = append(sb, fmt.Sprintf("rank %d in Agree", r)...)
+		default:
+			src := "any"
+			if wi.src != AnySource {
+				src = fmt.Sprintf("%d", wi.src)
+			}
+			tag := "any"
+			if wi.tag != AnyTag {
+				tag = fmt.Sprintf("%d", wi.tag)
+			}
+			sb = append(sb, fmt.Sprintf("rank %d in Recv(src=%s, tag=%s)", r, src, tag)...)
+		}
+	}
+	if len(sb) == 0 {
+		return ErrDeadlock
+	}
+	return fmt.Errorf("%w: %s", ErrDeadlock, sb)
 }
 
 // Comm is one rank's view of a communicator. A Comm must only be used
@@ -131,6 +196,7 @@ type Comm struct {
 	ranks     []int  // world ranks of the members, indexed by comm rank
 	collSeq   int    // per-rank collective sequence number
 	splitsRun int    // per-rank split sequence number
+	agreeSeq  int    // per-rank Agree round sequence number
 }
 
 // Rank returns the caller's rank within the communicator.
@@ -147,7 +213,7 @@ func (c *Comm) WorldRank() int { return c.ranks[c.rank] }
 // panics inside a rank are recovered and reported as errors (a rank
 // that dies may cause ErrDeadlock on ranks waiting for it).
 func Run(size int, fn func(*Comm) error) error {
-	_, err := run(size, false, TimeModel{}, fn)
+	_, err := run(size, Options{}, fn)
 	return err
 }
 
@@ -155,14 +221,32 @@ func Run(size int, fn func(*Comm) error) error {
 // the maximum virtual time over all ranks at completion — the modeled
 // parallel wall-clock time of the run.
 func RunTimed(size int, tm TimeModel, fn func(*Comm) error) (float64, error) {
-	return run(size, true, tm, fn)
+	return run(size, Options{Timed: true, TM: tm}, fn)
 }
 
-func run(size int, timed bool, tm TimeModel, fn func(*Comm) error) (float64, error) {
+// Options bundles the optional world parameters of RunOpts.
+type Options struct {
+	// Timed enables the LogGP virtual clocks with model TM.
+	Timed bool
+	TM    TimeModel
+	// Fault, when non-nil, injects deterministic faults at the
+	// send/receive boundary (see FaultPolicy). Nil costs nothing.
+	Fault FaultPolicy
+}
+
+// RunOpts is Run with explicit world options (virtual clocks and/or a
+// fault-injection policy). It returns the maximum virtual time over
+// all ranks (zero untimed) and the combined rank errors; injected rank
+// crashes surface as errors matching ErrInjectedCrash.
+func RunOpts(size int, o Options, fn func(*Comm) error) (float64, error) {
+	return run(size, o, fn)
+}
+
+func run(size int, o Options, fn func(*Comm) error) (float64, error) {
 	if size < 1 {
 		return 0, fmt.Errorf("mpi: world size %d < 1", size)
 	}
-	w := newWorld(size, timed, tm)
+	w := newWorld(size, o.Timed, o.TM, o.Fault)
 	ranks := make([]int, size)
 	for i := range ranks {
 		ranks[i] = i
@@ -174,13 +258,21 @@ func run(size int, timed bool, tm TimeModel, fn func(*Comm) error) (float64, err
 		go func(r int) {
 			defer wg.Done()
 			defer func() {
+				p := recover()
 				w.mu.Lock()
 				w.live--
+				if p != nil {
+					// A dead rank (crash injection or a genuine bug)
+					// is visible to RecvDeadline and Agree; wake every
+					// waiter so they can fail fast.
+					w.dead[r] = true
+					w.allBox()
+				}
 				if w.live > 0 && w.failed == nil && w.deadlocked() {
-					w.fail(ErrDeadlock)
+					w.fail(w.deadlockError())
 				}
 				w.mu.Unlock()
-				if p := recover(); p != nil {
+				if p != nil {
 					if err, ok := p.(error); ok {
 						errs[r] = fmt.Errorf("mpi: rank %d: %w", r, err)
 					} else {
@@ -237,23 +329,55 @@ func (c *Comm) send(dst, tag int, data []byte) {
 	buf := make([]byte, len(data))
 	copy(buf, data)
 	w := c.w
+	me := c.WorldRank()
 	w.mu.Lock()
 	if w.failed != nil {
 		w.mu.Unlock()
 		panic(w.failed)
 	}
 	w.epoch++
-	if pb := w.tel[c.WorldRank()]; pb != nil {
+	pb := w.tel[me]
+	if pb != nil {
 		pb.sends.Inc()
 		pb.sendBytes.Add(int64(len(buf)))
 	}
+	extraVT := 0.0
+	if w.fault != nil {
+		dstW := c.ranks[dst]
+		seq := w.seq[me*w.size+dstW]
+		w.seq[me*w.size+dstW]++
+		v := w.fault.Message(me, dstW, tag, seq, len(buf))
+		if v.Injected && pb != nil {
+			pb.faultInjected.Inc()
+		}
+		if v.Recovered && pb != nil {
+			pb.faultRecovered.Inc()
+		}
+		if v.Lost {
+			// Retransmits exhausted: the message is dropped for good.
+			// Upper layers see it as a missing message (timeout or
+			// deadlock), exactly like a hard link failure.
+			if pb != nil {
+				pb.faultLost.Inc()
+			}
+			w.mu.Unlock()
+			return
+		}
+		extraVT = v.ExtraDelay
+		if v.CorruptTruncate && len(buf) > 0 {
+			// Leak mode: deliver a torn payload so receive-side
+			// validation (checked decoders) is exercised.
+			buf = buf[:len(buf)-1]
+		}
+	}
 	box := w.boxes[c.ranks[dst]]
 	box.msgs = append(box.msgs, message{
-		comm:   c.id,
-		src:    c.encodeSrc(),
-		tag:    tag,
-		data:   buf,
-		sendVT: w.vt[c.WorldRank()],
+		comm:    c.id,
+		src:     c.encodeSrc(),
+		tag:     tag,
+		data:    buf,
+		sendVT:  w.vt[me],
+		extraVT: extraVT,
 	})
 	box.cond.Broadcast()
 	w.mu.Unlock()
@@ -309,38 +433,15 @@ func (c *Comm) recvDetect(src, tag int, detect bool) (data []byte, actualSrc, ac
 		if w.failed != nil {
 			panic(w.failed)
 		}
-		for i, m := range box.msgs {
-			if m.comm == c.id &&
-				(wantWorldSrc == AnySource || m.src == wantWorldSrc) &&
-				(tag == AnyTag || m.tag == tag) {
-				box.msgs = append(box.msgs[:i], box.msgs[i+1:]...)
-				if w.timed {
-					arrive := m.sendVT + w.tm.Latency + float64(len(m.data))*w.tm.BytePeriod
-					if arrive > w.vt[me] {
-						w.vt[me] = arrive
-					}
-				}
-				if pb := w.tel[me]; pb != nil {
-					pb.recvs.Inc()
-					pb.recvBytes.Add(int64(len(m.data)))
-				}
-				// Translate world src back to a comm rank; -1 if the
-				// sender is not a member of this communicator.
-				cr := -1
-				for r, wr := range c.ranks {
-					if wr == m.src {
-						cr = r
-						break
-					}
-				}
-				return m.data, cr, m.tag
-			}
+		if m, cr, ok := c.matchLocked(box, wantWorldSrc, tag); ok {
+			return m.data, cr, m.tag
 		}
 		if detect {
-			w.waiting[me] = w.epoch
+			w.waiting[me] = waitInfo{epoch: w.epoch, src: wantWorldSrc, tag: tag}
 			if w.deadlocked() {
+				err := w.deadlockError()
 				delete(w.waiting, me)
-				w.fail(ErrDeadlock)
+				w.fail(err)
 				panic(w.failed)
 			}
 		}
@@ -349,6 +450,42 @@ func (c *Comm) recvDetect(src, tag int, detect bool) (data []byte, actualSrc, ac
 			delete(w.waiting, me)
 		}
 	}
+}
+
+// matchLocked scans box for the first message matching (wantWorldSrc,
+// tag) on this communicator, removes it, applies virtual-clock arrival
+// and telemetry accounting, and returns it with the source translated
+// to a comm rank (-1 when the sender left the communicator, e.g. after
+// a Shrink). Must hold w.mu.
+func (c *Comm) matchLocked(box *mailbox, wantWorldSrc, tag int) (message, int, bool) {
+	w := c.w
+	me := c.WorldRank()
+	for i, m := range box.msgs {
+		if m.comm == c.id &&
+			(wantWorldSrc == AnySource || m.src == wantWorldSrc) &&
+			(tag == AnyTag || m.tag == tag) {
+			box.msgs = append(box.msgs[:i], box.msgs[i+1:]...)
+			if w.timed {
+				arrive := m.sendVT + w.tm.Latency + float64(len(m.data))*w.tm.BytePeriod + m.extraVT
+				if arrive > w.vt[me] {
+					w.vt[me] = arrive
+				}
+			}
+			if pb := w.tel[me]; pb != nil {
+				pb.recvs.Inc()
+				pb.recvBytes.Add(int64(len(m.data)))
+			}
+			cr := -1
+			for r, wr := range c.ranks {
+				if wr == m.src {
+					cr = r
+					break
+				}
+			}
+			return m, cr, true
+		}
+	}
+	return message{}, -1, false
 }
 
 // internal collective tags: negative, namespaced by a per-comm
@@ -669,37 +806,14 @@ func (c *Comm) TryRecv(src, tag int) (data []byte, actualSrc, actualTag int, ok 
 		wantWorldSrc = c.ranks[src]
 	}
 	w := c.w
-	me := c.WorldRank()
-	box := w.boxes[me]
+	box := w.boxes[c.WorldRank()]
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.failed != nil {
 		panic(w.failed)
 	}
-	for i, m := range box.msgs {
-		if m.comm == c.id &&
-			(wantWorldSrc == AnySource || m.src == wantWorldSrc) &&
-			(tag == AnyTag || m.tag == tag) {
-			box.msgs = append(box.msgs[:i], box.msgs[i+1:]...)
-			if w.timed {
-				arrive := m.sendVT + w.tm.Latency + float64(len(m.data))*w.tm.BytePeriod
-				if arrive > w.vt[me] {
-					w.vt[me] = arrive
-				}
-			}
-			if pb := w.tel[me]; pb != nil {
-				pb.recvs.Inc()
-				pb.recvBytes.Add(int64(len(m.data)))
-			}
-			cr := -1
-			for r, wr := range c.ranks {
-				if wr == m.src {
-					cr = r
-					break
-				}
-			}
-			return m.data, cr, m.tag, true
-		}
+	if m, cr, ok := c.matchLocked(box, wantWorldSrc, tag); ok {
+		return m.data, cr, m.tag, true
 	}
 	return nil, 0, 0, false
 }

@@ -20,6 +20,15 @@ const (
 	TimerAllgather = "mpi.allgather"
 	TimerAlltoall  = "mpi.alltoall"
 	TimerAllreduce = "mpi.allreduce"
+
+	// Fault-injection counters (see fault.go): injected counts every
+	// fault the policy applied (drops, delays, corruptions, crashes),
+	// recovered counts transport-absorbed faults (retransmits and
+	// CRC-detected corrupt deliveries), lost counts messages dropped
+	// permanently after retry exhaustion.
+	CounterFaultInjected  = "fault.injected"
+	CounterFaultRecovered = "fault.recovered"
+	CounterFaultLost      = "fault.lost"
 )
 
 // Collective indices into commProbe.coll.
@@ -38,16 +47,20 @@ const (
 // communicator splits; all accesses happen under w.mu or through the
 // probe() snapshot, and only the owning rank ever writes its slot.
 type commProbe struct {
-	sends, sendBytes, recvs, recvBytes *telemetry.Counter
-	coll                               [collCount]*telemetry.Timer
+	sends, sendBytes, recvs, recvBytes       *telemetry.Counter
+	faultInjected, faultRecovered, faultLost *telemetry.Counter
+	coll                                     [collCount]*telemetry.Timer
 }
 
 func newCommProbe(reg *telemetry.Registry) *commProbe {
 	pb := &commProbe{
-		sends:     reg.Counter(CounterSends),
-		sendBytes: reg.Counter(CounterSendBytes),
-		recvs:     reg.Counter(CounterRecvs),
-		recvBytes: reg.Counter(CounterRecvBytes),
+		sends:          reg.Counter(CounterSends),
+		sendBytes:      reg.Counter(CounterSendBytes),
+		recvs:          reg.Counter(CounterRecvs),
+		recvBytes:      reg.Counter(CounterRecvBytes),
+		faultInjected:  reg.Counter(CounterFaultInjected),
+		faultRecovered: reg.Counter(CounterFaultRecovered),
+		faultLost:      reg.Counter(CounterFaultLost),
 	}
 	// Collectives fire constantly inside solver phases; labeling their
 	// spans would erase the enclosing phase's pprof label at every Stop.

@@ -62,6 +62,9 @@ type Config struct {
 	// convergence gauges, and predictor/iteration timings (see
 	// probe.go). Must be private to the rank.
 	Tel *telemetry.Registry
+	// Resilience selects the fault-tolerant execution path (see
+	// resilient.go). The zero value runs the plain solver unchanged.
+	Resilience Resilience
 }
 
 // Result reports one rank's view of a PFASST solve.
@@ -82,6 +85,15 @@ type Result struct {
 	// performed per block (smaller than Config.Iterations only when
 	// Tol triggered early termination).
 	IterationsRun []int
+	// BlockRestarts counts block attempts aborted and redone by the
+	// resilient path (crashes and transport losses); DegradedBlocks
+	// counts blocks executed at reduced parallelism (shrunken
+	// communicator or serial tail). Both stay zero on the plain path.
+	BlockRestarts  int
+	DegradedBlocks int
+	// FinalRanks is the surviving time-communicator size at the end of
+	// a resilient run (equal to the starting size when nothing died).
+	FinalRanks int
 }
 
 type level struct {
@@ -141,10 +153,17 @@ func Run(comm *mpi.Comm, cfg Config, t0, t1 float64, nsteps int, u0 []float64) (
 	blocks := nsteps / p
 	rank := comm.Rank()
 	u := append([]float64(nil), u0...)
-	res := Result{}
+	res := Result{FinalRanks: p}
 	pb := newProbe(cfg.Tel)
 	if cfg.Tel != nil {
 		comm.AttachTelemetry(cfg.Tel)
+	}
+
+	if cfg.Resilience.Enabled {
+		if err := runResilient(comm, cfg, levels, t0, t1, nsteps, u0, &res, &pb); err != nil {
+			return Result{}, err
+		}
+		return res, nil
 	}
 
 	for b := 0; b < blocks; b++ {

@@ -18,12 +18,21 @@ const (
 
 	PhasePredictor = "pfasst.predictor"
 	PhaseIteration = "pfasst.iteration"
+
+	// Resilient-path counters: degraded_blocks counts blocks executed
+	// at reduced parallelism (after a shrink, or the serial tail),
+	// block_restarts counts aborted-and-redone block attempts, shrinks
+	// counts communicator contractions after rank deaths.
+	CounterDegradedBlocks = "fault.degraded_blocks"
+	CounterBlockRestarts  = "pfasst.block_restarts"
+	CounterShrinks        = "pfasst.shrinks"
 )
 
 // probe holds the pre-resolved metric handles of one time rank; all
 // fields are nil (no-op) without a registry.
 type probe struct {
 	fineSweeps, coarseSweeps, iters, blocks *telemetry.Counter
+	degraded, restarts, shrinks             *telemetry.Counter
 
 	residual, iterDiff *telemetry.Gauge
 
@@ -36,6 +45,9 @@ func newProbe(reg *telemetry.Registry) probe {
 		coarseSweeps: reg.Counter(CounterCoarseSweeps),
 		iters:        reg.Counter(CounterIterations),
 		blocks:       reg.Counter(CounterBlocks),
+		degraded:     reg.Counter(CounterDegradedBlocks),
+		restarts:     reg.Counter(CounterBlockRestarts),
+		shrinks:      reg.Counter(CounterShrinks),
 		residual:     reg.Gauge(GaugeResidual),
 		iterDiff:     reg.Gauge(GaugeIterDiff),
 		predictor:    reg.Timer(PhasePredictor),

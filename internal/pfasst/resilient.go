@@ -1,0 +1,445 @@
+package pfasst
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"time"
+
+	"repro/internal/checkpoint"
+	"repro/internal/mpi"
+	"repro/internal/ode"
+	"repro/internal/sdc"
+)
+
+// Resilience configures fault-tolerant execution of Run. When Enabled,
+// the time loop survives rank crashes: every pipelined receive carries
+// a deadline, each block ends in a ULFM-style agreement that commits or
+// aborts it identically on every survivor, a crashed rank shrinks the
+// time communicator, and the block restarts from its consistent start
+// state. Steps that no longer fit a parallel block after shrinking run
+// through a serial SDC fallback. With Enabled false (the zero value)
+// the solver follows the plain code path, byte for byte.
+type Resilience struct {
+	Enabled bool
+	// RecvTimeout bounds every pipelined receive in host time; a block
+	// whose receive times out is aborted and retried. Zero means
+	// DefaultRecvTimeout.
+	RecvTimeout time.Duration
+	// CheckpointDir, when non-empty, persists the committed block-start
+	// state to <dir>/pfasst.nblv (written atomically by the first
+	// surviving rank) after every block, and Resume restarts from it.
+	CheckpointDir string
+	// Resume loads the checkpoint at startup and continues from the
+	// recorded block instead of t0. A missing file is not an error —
+	// the run simply starts from the beginning.
+	Resume bool
+	// FallbackSweeps is the serial-SDC sweep count per step for the
+	// degraded tail (steps that cannot fill a parallel block after a
+	// shrink). Zero means DefaultFallbackSweeps.
+	FallbackSweeps int
+	// MaxBlockRetries bounds how many times a single block may be
+	// retried (shrinks excluded) before the run gives up. Zero means
+	// DefaultMaxBlockRetries.
+	MaxBlockRetries int
+}
+
+const (
+	DefaultRecvTimeout     = 10 * time.Second
+	DefaultFallbackSweeps  = 8
+	DefaultMaxBlockRetries = 3
+)
+
+func (r Resilience) recvTimeout() time.Duration {
+	if r.RecvTimeout > 0 {
+		return r.RecvTimeout
+	}
+	return DefaultRecvTimeout
+}
+
+func (r Resilience) fallbackSweeps() int {
+	if r.FallbackSweeps > 0 {
+		return r.FallbackSweeps
+	}
+	return DefaultFallbackSweeps
+}
+
+func (r Resilience) maxBlockRetries() int {
+	if r.MaxBlockRetries > 0 {
+		return r.MaxBlockRetries
+	}
+	return DefaultMaxBlockRetries
+}
+
+// checkpointPath is the block-checkpoint file within CheckpointDir.
+func (r Resilience) checkpointPath() string {
+	return filepath.Join(r.CheckpointDir, "pfasst.nblv")
+}
+
+// Resilient-path message tags live above the plain solver's tag space
+// and embed the block-attempt generation, so a retried block can never
+// match a stale message queued by a failed attempt.
+const (
+	resTagBase = 1 << 24
+	resGenSpan = 1 << 20
+	resCtrl    = 1 << 19
+)
+
+func resTag(gen, lvl, iter int, predictor bool) int {
+	k := iter*64 + lvl*2
+	if predictor {
+		k++
+	}
+	return resTagBase + gen*resGenSpan + k
+}
+
+// ctrlTag spaces the control-plane messages (end-value broadcast,
+// deadline allreduce) of one attempt generation.
+func ctrlTag(gen, seq int) int {
+	return resTagBase + gen*resGenSpan + resCtrl + seq
+}
+
+// errBlockAbort wraps any failure that aborts a block attempt.
+var errBlockAbort = errors.New("pfasst: block attempt aborted")
+
+// runResilient is the fault-tolerant time loop. The plain loop indexes
+// blocks statically; here the communicator can shrink mid-run, so the
+// loop tracks committed steps and carves off one block of cur.Size()
+// steps at a time, falling back to serial SDC for a tail narrower than
+// the communicator.
+func runResilient(comm *mpi.Comm, cfg Config, levels []*level, t0, t1 float64, nsteps int, u0 []float64, res *Result, pb *probe) error {
+	rz := cfg.Resilience
+	dt := (t1 - t0) / float64(nsteps)
+	fullSize := comm.Size()
+	cur := comm
+	u := append([]float64(nil), u0...)
+	stepsDone := 0
+	block := 0
+	gen := 0 // block-attempt generation, identical on all survivors
+
+	if rz.Resume && rz.CheckpointDir != "" {
+		if st, err := checkpoint.LoadLevels(rz.checkpointPath()); err == nil {
+			if len(st.U) == 0 || len(st.U[0]) != len(u0) {
+				return fmt.Errorf("pfasst: checkpoint dim does not match problem dim %d", len(u0))
+			}
+			stepsDone = st.StepsDone
+			block = st.Block
+			u = append(u[:0], st.U[0]...)
+			if stepsDone > nsteps {
+				return fmt.Errorf("pfasst: checkpoint has %d steps done, run wants %d", stepsDone, nsteps)
+			}
+		}
+	}
+
+	retries := 0
+	for stepsDone < nsteps {
+		p := cur.Size()
+		if nsteps-stepsDone < p {
+			// Degraded tail: fewer steps remain than survivors. Serial
+			// SDC on the first rank, result broadcast to the rest.
+			if err := runSerialTail(cur, cfg, rz, t0, dt, nsteps, stepsDone, u, res, pb, gen); err != nil {
+				if shrinkIfDead(&cur, pb) {
+					gen++
+					continue
+				}
+				return err
+			}
+			res.DegradedBlocks++
+			pb.degraded.Inc()
+			stepsDone = nsteps
+			break
+		}
+
+		cur.FaultPoint("block", stepsDone)
+		tn := t0 + (float64(stepsDone)+float64(cur.Rank()))*dt
+		blockEnd, err := runBlockResilient(cur, cfg, levels, tn, dt, u, block, gen, res, pb)
+
+		ok := int64(1)
+		if err != nil {
+			ok = 0
+		}
+		verdict := cur.Agree(ok)
+		if verdict == 1 {
+			// Commit: every survivor holds the identical end value.
+			stepsDone += p
+			block++
+			gen++
+			retries = 0
+			u = blockEnd
+			if p < fullSize {
+				res.DegradedBlocks++
+				pb.degraded.Inc()
+			}
+			if rz.CheckpointDir != "" && cur.Rank() == 0 {
+				st := &checkpoint.LevelState{
+					Block:     block,
+					StepsDone: stepsDone,
+					TimeRanks: p,
+					T:         t0 + float64(stepsDone)*dt,
+					U:         [][]float64{u},
+				}
+				if err := checkpoint.SaveLevels(rz.checkpointPath(), st); err != nil {
+					return fmt.Errorf("pfasst: block %d checkpoint: %w", block, err)
+				}
+			}
+			continue
+		}
+
+		// Abort: restore is implicit — u still holds the consistent
+		// block-start state. A death shrinks the communicator; a
+		// transient abort retries with a bounded budget.
+		res.BlockRestarts++
+		pb.restarts.Inc()
+		gen++
+		if shrinkIfDead(&cur, pb) {
+			retries = 0
+			continue
+		}
+		retries++
+		if retries > rz.maxBlockRetries() {
+			return fmt.Errorf("pfasst: block %d failed %d attempts: %w", block, retries, err)
+		}
+	}
+
+	res.U = u
+	res.FinalRanks = cur.Size()
+	return nil
+}
+
+// shrinkIfDead replaces *cur with its survivor communicator when a
+// member has died; it reports whether a shrink happened. All survivors
+// reach this point with the same dead set — the preceding Agree is the
+// synchronization point.
+func shrinkIfDead(cur **mpi.Comm, pb *probe) bool {
+	c := *cur
+	if c.AliveCount() == c.Size() {
+		return false
+	}
+	*cur = c.Shrink()
+	pb.shrinks.Inc()
+	return true
+}
+
+// runSerialTail integrates the remaining (< cur.Size()) steps with
+// serial SDC on rank 0 and broadcasts the result: the degraded-mode
+// guarantee is completion within tolerance, not speedup.
+func runSerialTail(cur *mpi.Comm, cfg Config, rz Resilience, t0, dt float64, nsteps, stepsDone int, u []float64, res *Result, pb *probe, gen int) error {
+	remaining := nsteps - stepsDone
+	fine := cfg.Levels[0]
+	timeout := rz.recvTimeout() * time.Duration(remaining+1)
+	if cur.Rank() == 0 {
+		in := sdc.NewIntegrator(fine.Sys, fine.NNodes, rz.fallbackSweeps())
+		tn := t0 + float64(stepsDone)*dt
+		in.Integrate(tn, tn+float64(remaining)*dt, remaining, u)
+		res.SweepsFine += remaining * rz.fallbackSweeps()
+		for dst := 1; dst < cur.Size(); dst++ {
+			cur.SendFloat64s(dst, ctrlTag(gen, 0), u)
+		}
+		return nil
+	}
+	got, err := cur.RecvFloat64sDeadline(0, ctrlTag(gen, 0), timeout)
+	if err != nil {
+		return fmt.Errorf("%w: serial tail: %w", errBlockAbort, err)
+	}
+	copy(u, got)
+	return nil
+}
+
+// bcastEndResilient distributes the last rank's slice-end value with
+// per-receive deadlines: rank p-1 sends linearly, everyone else does a
+// bounded wait. Returns the block end value (a fresh slice on every
+// rank) or an abort error.
+func bcastEndResilient(cur *mpi.Comm, gen int, timeout time.Duration, uEnd []float64) ([]float64, error) {
+	p := cur.Size()
+	root := p - 1
+	if cur.Rank() == root {
+		for dst := 0; dst < p; dst++ {
+			if dst != root {
+				cur.SendFloat64s(dst, ctrlTag(gen, 1), uEnd)
+			}
+		}
+		return append([]float64(nil), uEnd...), nil
+	}
+	got, err := cur.RecvFloat64sDeadline(root, ctrlTag(gen, 1), timeout)
+	if err != nil {
+		return nil, fmt.Errorf("%w: end broadcast: %w", errBlockAbort, err)
+	}
+	return got, nil
+}
+
+// allreduceMaxDeadline is a deadline-bounded linear allreduce(max) for
+// the Tol convergence check: the built-in tree allreduce would hang in
+// plain Recv when a participant dies mid-collective.
+func allreduceMaxDeadline(cur *mpi.Comm, v float64, gen, seq int, timeout time.Duration) (float64, error) {
+	p := cur.Size()
+	if p == 1 {
+		return v, nil
+	}
+	tag := ctrlTag(gen, 2+2*seq)
+	if cur.Rank() == 0 {
+		m := v
+		for src := 1; src < p; src++ {
+			x, err := cur.RecvFloat64sDeadline(src, tag, timeout)
+			if err != nil || len(x) != 1 {
+				return 0, fmt.Errorf("%w: allreduce gather: %w", errBlockAbort, err)
+			}
+			if x[0] > m {
+				m = x[0]
+			}
+		}
+		for dst := 1; dst < p; dst++ {
+			cur.SendFloat64s(dst, tag+1, []float64{m})
+		}
+		return m, nil
+	}
+	cur.SendFloat64s(0, tag, []float64{v})
+	x, err := cur.RecvFloat64sDeadline(0, tag+1, timeout)
+	if err != nil || len(x) != 1 {
+		return 0, fmt.Errorf("%w: allreduce result: %w", errBlockAbort, err)
+	}
+	return x[0], nil
+}
+
+// runBlockResilient mirrors runBlock — predictor, V-cycle iterations,
+// trailing sweep — with three changes: every receive has a deadline
+// and propagates a typed abort error instead of blocking forever,
+// message tags embed the attempt generation so retries never consume
+// stale traffic, and the block ends with the resilient end-value
+// broadcast so a committed block leaves every rank holding the
+// identical next start state.
+func runBlockResilient(cur *mpi.Comm, cfg Config, levels []*level, tn, dt float64, u0 []float64, block, gen int, res *Result, pb *probe) ([]float64, error) {
+	rz := cfg.Resilience
+	timeout := rz.recvTimeout()
+	p := cur.Size()
+	rank := cur.Rank()
+	nl := len(levels)
+	fine := levels[0]
+	coarse := levels[nl-1]
+
+	for _, l := range levels {
+		l.sw.Setup(tn, dt)
+	}
+	predSpan := pb.predictor.Start()
+	cur.FaultPoint("predictor", block)
+
+	// Predictor: pipelined coarse sweeps, deadline receives.
+	cu := make([]float64, coarse.dim)
+	restrictFull(levels, u0, cu)
+	coarse.sw.SetU0(cu)
+	coarse.sw.Spread()
+	for j := 0; j <= rank; j++ {
+		if j > 0 {
+			in, err := cur.RecvFloat64sDeadline(rank-1, resTag(gen, nl-1, j, true), timeout)
+			if err != nil {
+				predSpan.Stop()
+				return nil, fmt.Errorf("%w: predictor: %w", errBlockAbort, err)
+			}
+			coarse.sw.SetU0Lazy(in)
+		}
+		coarse.sw.Sweep()
+		res.SweepsCoarse++
+		pb.coarseSweeps.Inc()
+		if rank < p-1 {
+			cur.SendFloat64s(rank+1, resTag(gen, nl-1, j+1, true), coarse.sw.UEnd())
+		}
+	}
+	for i := nl - 2; i >= 0; i-- {
+		l := levels[i]
+		for mc := range l.uR {
+			ode.Zero(l.uR[mc])
+		}
+		for mf := 0; mf < l.nnodes; mf++ {
+			ode.Zero(l.sw.U[mf])
+		}
+		l.interpolateCorrection()
+	}
+	if rank == 0 {
+		fine.sw.SetU0(u0)
+	}
+	predSpan.Stop()
+
+	prevEnd := append([]float64(nil), fine.sw.UEnd()...)
+	var lastDiff float64
+	itersRun := 0
+
+	for k := 0; k < cfg.Iterations; k++ {
+		cur.FaultPoint("iter", k)
+		iterSpan := pb.iteration.Start()
+		abort := func(stage string, err error) ([]float64, error) {
+			iterSpan.Stop()
+			return nil, fmt.Errorf("%w: iteration %d %s: %w", errBlockAbort, k, stage, err)
+		}
+		for i := 0; i < nl-1; i++ {
+			l := levels[i]
+			for s := 0; s < cfg.FineSweeps; s++ {
+				l.sw.Sweep()
+			}
+			if i == 0 {
+				res.SweepsFine += cfg.FineSweeps
+				pb.fineSweeps.Add(int64(cfg.FineSweeps))
+			}
+			if rank < p-1 {
+				cur.SendFloat64s(rank+1, resTag(gen, i, k, false), l.sw.UEnd())
+			}
+			l.restrictAndFAS()
+		}
+		for s := 0; s < cfg.CoarseSweeps; s++ {
+			if rank > 0 {
+				in, err := cur.RecvFloat64sDeadline(rank-1, resTag(gen, nl-1, k*8+s, false), timeout)
+				if err != nil {
+					return abort("coarse", err)
+				}
+				coarse.sw.SetU0Lazy(in)
+			}
+			coarse.sw.Sweep()
+			res.SweepsCoarse++
+			pb.coarseSweeps.Inc()
+			if rank < p-1 {
+				cur.SendFloat64s(rank+1, resTag(gen, nl-1, k*8+s, false), coarse.sw.UEnd())
+			}
+		}
+		for i := nl - 2; i >= 0; i-- {
+			l := levels[i]
+			if rank > 0 {
+				in, err := cur.RecvFloat64sDeadline(rank-1, resTag(gen, i, k, false), timeout)
+				if err != nil {
+					return abort("fine", err)
+				}
+				l.sw.SetU0(in)
+				l.restrictSpace(l.sw.U[0], l.uR[0])
+			}
+			l.interpolateCorrection()
+			if i > 0 {
+				l.sw.Sweep()
+			}
+		}
+		lastDiff = ode.MaxDiff(fine.sw.UEnd(), prevEnd)
+		ode.Copy(prevEnd, fine.sw.UEnd())
+		itersRun = k + 1
+		iterSpan.Stop()
+		pb.iterDiff.Set(lastDiff)
+		if cfg.Tol > 0 {
+			global, err := allreduceMaxDeadline(cur, lastDiff, gen, k, timeout)
+			if err != nil {
+				return nil, err
+			}
+			if global < cfg.Tol {
+				break
+			}
+		}
+	}
+
+	if trailingSweep {
+		fine.sw.Sweep()
+		res.SweepsFine++
+		pb.fineSweeps.Inc()
+	}
+	res.Residuals = append(res.Residuals, fine.sw.Residual())
+	res.IterDiffs = append(res.IterDiffs, lastDiff)
+	res.IterationsRun = append(res.IterationsRun, itersRun)
+	pb.iters.Add(int64(itersRun))
+	pb.blocks.Inc()
+	pb.residual.Set(fine.sw.Residual())
+
+	return bcastEndResilient(cur, gen, timeout, fine.sw.UEnd())
+}

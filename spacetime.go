@@ -1,14 +1,18 @@
 package nbody
 
 import (
+	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/kernel"
 	"repro/internal/machine"
 	"repro/internal/mpi"
 	"repro/internal/particle"
+	"repro/internal/pfasst"
 	"repro/internal/telemetry"
 	"repro/internal/tree"
 )
@@ -60,6 +64,34 @@ type SpaceTimeConfig struct {
 	// is returned in SpaceTimeStats.Run. The disabled path costs
 	// nothing on the evaluation hot loops.
 	Telemetry bool
+	// Resilience configures fault injection and fault-tolerant time
+	// stepping. The zero value runs the plain solver with no fault
+	// hooks (a single nil check on the hot paths).
+	Resilience ResilienceConfig
+}
+
+// ResilienceConfig is the facade's resilience block: a seeded fault
+// plan to inject, and the recovery machinery to survive it.
+type ResilienceConfig struct {
+	// Enabled turns on resilient PFASST (deadline receives, block
+	// agreement commits, shrink-and-redo crash recovery, serial-SDC
+	// degraded tail). Fault injection without Enabled exercises the
+	// plain solver, which absorbs transient plans but dies on crashes.
+	Enabled bool
+	// FaultPlan is a fault.Parse spec ("drop=0.05,crash=1@iter:1", see
+	// internal/fault); empty injects nothing.
+	FaultPlan string
+	// FaultSeed seeds the plan's deterministic per-message verdicts.
+	FaultSeed int64
+	// RecvTimeout bounds every pipelined receive (0 = default).
+	RecvTimeout time.Duration
+	// CheckpointDir persists committed block state for crash-safe
+	// restarts; Resume continues from the checkpoint found there.
+	CheckpointDir string
+	Resume        bool
+	// FallbackSweeps is the serial-SDC sweep count of the degraded
+	// tail (0 = default).
+	FallbackSweeps int
 }
 
 // DefaultSpaceTime returns the paper's PFASST(2,2,·) configuration.
@@ -119,10 +151,40 @@ func RunSpaceTime(cfg SpaceTimeConfig, sys *System, t0, t1 float64, nsteps int) 
 		ccfg.Model = &model
 	}
 
+	rz := cfg.Resilience
+	var plan *fault.Plan
+	if rz.FaultPlan != "" {
+		plan, err = fault.Parse(rz.FaultPlan, rz.FaultSeed)
+		if err != nil {
+			return nil, SpaceTimeStats{}, err
+		}
+		if !plan.Transient() {
+			// A crash can only be survived by the resilient time loop,
+			// and only the time communicator knows how to shrink: the
+			// spatial tree has no redundancy to absorb a lost rank.
+			if !rz.Enabled {
+				return nil, SpaceTimeStats{}, fmt.Errorf("nbody: fault plan %q injects a crash; set Resilience.Enabled", rz.FaultPlan)
+			}
+			if cfg.PS > 1 {
+				return nil, SpaceTimeStats{}, fmt.Errorf("nbody: crash recovery supports PS=1 only (have PS=%d)", cfg.PS)
+			}
+		}
+	}
+	if rz.Enabled {
+		ccfg.Resilience = pfasst.Resilience{
+			Enabled:        true,
+			RecvTimeout:    rz.RecvTimeout,
+			CheckpointDir:  rz.CheckpointDir,
+			Resume:         rz.Resume,
+			FallbackSweeps: rz.FallbackSweeps,
+		}
+	}
+
 	out := sys.Clone()
 	var mu sync.Mutex
 	var stats SpaceTimeStats
 	var merged RunStats
+	statsSlice := -1
 
 	runner := func(w *mpi.Comm) error {
 		rcfg := ccfg
@@ -138,13 +200,20 @@ func RunSpaceTime(cfg SpaceTimeConfig, sys *System, t0, t1 float64, nsteps int) 
 		if rcfg.Tel != nil {
 			merged.Merge(rcfg.Tel.Snapshot())
 		}
-		if res.TimeSlice == cfg.PT-1 {
-			// Write this spatial block into the gathered output.
+		// Every time slice ends with the identical advanced state (the
+		// block-end broadcast invariant), so in resilient mode any
+		// surviving slice may write the output — the nominal writer may
+		// have been the crashed rank. The plain path keeps its single
+		// writer (slice PT−1).
+		if res.TimeSlice == cfg.PT-1 || rz.Enabled {
 			n := sys.N()
 			lo := n * res.SpatialIndex / cfg.PS
 			copy(out.Particles[lo:lo+res.Local.N()], res.Local.Particles)
-			if res.SpatialIndex == 0 {
-				stats.LastSliceResidual = res.PFASST.IterDiffs[len(res.PFASST.IterDiffs)-1]
+			if res.SpatialIndex == 0 && res.TimeSlice > statsSlice {
+				statsSlice = res.TimeSlice
+				if n := len(res.PFASST.IterDiffs); n > 0 {
+					stats.LastSliceResidual = res.PFASST.IterDiffs[n-1]
+				}
 				stats.FineEvals = res.FineEvals
 				stats.CoarseEvals = res.CoarseEvals
 			}
@@ -152,10 +221,25 @@ func RunSpaceTime(cfg SpaceTimeConfig, sys *System, t0, t1 float64, nsteps int) 
 		return nil
 	}
 
+	opts := mpi.Options{Timed: cfg.Modeled}
 	if cfg.Modeled {
-		stats.ModeledSeconds, err = mpi.RunTimed(cfg.PT*cfg.PS, mpi.BlueGeneP(), runner)
-	} else {
-		err = mpi.Run(cfg.PT*cfg.PS, runner)
+		opts.TM = mpi.BlueGeneP()
+	}
+	if plan != nil && !plan.Empty() {
+		opts.Fault = plan
+	}
+	stats.ModeledSeconds, err = mpi.RunOpts(cfg.PT*cfg.PS, opts, runner)
+	if !cfg.Modeled {
+		stats.ModeledSeconds = 0
+	}
+	if err != nil && plan != nil && !plan.Transient() {
+		// Planned crashes surface as ErrInjectedCrash from the dead
+		// rank; the run succeeded if the survivors reported nothing
+		// else and produced the output.
+		err = filterInjectedCrashes(err)
+		if err == nil && statsSlice < 0 {
+			err = fmt.Errorf("nbody: no surviving rank produced output")
+		}
 	}
 	if err != nil {
 		return nil, SpaceTimeStats{}, err
@@ -164,6 +248,26 @@ func RunSpaceTime(cfg SpaceTimeConfig, sys *System, t0, t1 float64, nsteps int) 
 		stats.Run = &merged
 	}
 	return out, stats, nil
+}
+
+// filterInjectedCrashes strips ErrInjectedCrash parts from a joined
+// rank error: nil when every part was a planned crash, the remaining
+// errors otherwise.
+func filterInjectedCrashes(err error) error {
+	joined, ok := err.(interface{ Unwrap() []error })
+	if !ok {
+		if errors.Is(err, mpi.ErrInjectedCrash) {
+			return nil
+		}
+		return err
+	}
+	var rest []error
+	for _, e := range joined.Unwrap() {
+		if !errors.Is(e, mpi.ErrInjectedCrash) {
+			rest = append(rest, e)
+		}
+	}
+	return errors.Join(rest...)
 }
 
 // RunSpaceParallel advances the system with the purely space-parallel
