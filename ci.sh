@@ -37,3 +37,15 @@ go test -race -count=1 -timeout 10m \
 # Checkpoint fuzz smoke: a few seconds of mutated NBLV headers against
 # the checked reader — corruption must surface as errors, never panics.
 go test -run '^$' -fuzz FuzzReadLevels -fuzztime 10s ./internal/checkpoint/
+
+# Guard lane: bit-flip chaos — seeded memory-fault injection, invariant
+# monitors, ABFT tree checks, and the recovery ladder — once more under
+# the race detector with -count=1 (the ladder's redo/rollback paths are
+# the concurrency-sensitive part worth re-randomizing every run).
+go test -race -count=1 -timeout 10m \
+  -run 'Guard|Scrub|Flip|Sticky|Moments|Ordering|Degenerate|ZeroExtent|Coincident|NaN|Resume|Checkpoint' \
+  ./internal/guard/ ./internal/fault/ ./internal/tree/ ./internal/kernel/ ./internal/pfasst/ .
+
+# Memory-fault-plan fuzz smoke: mutated mem-plan specs against the
+# parser — malformed specs must surface as errors, never panics.
+go test -run '^$' -fuzz FuzzParseMem -fuzztime 10s ./internal/fault/

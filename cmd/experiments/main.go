@@ -10,6 +10,8 @@
 //	experiments -exp bench-pr2  # traversal benchmark (writes BENCH_PR2.json; not part of "all")
 //	experiments -exp chaos      # fault-injection matrix (writes BENCH_PR3.json; not part of "all")
 //	experiments -exp chaos -faultseed 7 -faultplan "drop=0.1,crash=2@iter:1"  # custom crash plan
+//	experiments -exp sdcguard   # bit-flip guard matrix (writes BENCH_PR4.json; not part of "all")
+//	experiments -exp sdcguard -flipseed 7 -fliprate 1e-3  # custom sweep seed and per-word rate
 //	experiments -traversal recursive -exp phases  # per-particle walk instead of interaction lists
 //	experiments -stealgrain 4 -exp phases         # work-stealing chunk size (leaf groups)
 //	experiments -threads 4 -exp phases            # hybrid per-rank worker pool (steals visible)
@@ -41,6 +43,9 @@ func main() {
 		faultSeed  = flag.Int64("faultseed", 42, "fault-plan seed of the chaos experiment")
 		faultPlan  = flag.String("faultplan", "", "override the chaos experiment's crash plan (fault.Parse spec)")
 		chaosOut   = flag.String("chaosout", "BENCH_PR3.json", "output path of the chaos record")
+		flipSeed   = flag.Int64("flipseed", 42, "base flip seed of the sdcguard experiment")
+		flipRate   = flag.Float64("fliprate", 2e-4, "per-word flip rate of the sdcguard sweep plan")
+		guardOut   = flag.String("guardout", "BENCH_PR4.json", "output path of the sdcguard record")
 		traversal  = flag.String("traversal", "", `tree traversal mode: "list" (default) or "recursive"`)
 		stealGrain = flag.Int("stealgrain", 0, "work-stealing chunk size in leaf groups (0 = automatic)")
 		threads    = flag.Int("threads", 0, "traversal worker goroutines per rank (>1 = hybrid scheduler; phases experiment)")
@@ -169,6 +174,23 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("wrote %s\n\n", *chaosOut)
+	}
+	// sdcguard is opt-in only: it measures the numerical guardrails —
+	// clean-run overhead, seeded bit-flip detection/recovery, sticky
+	// abort, block-domain monitors — and records BENCH_PR4.json.
+	if strings.EqualFold(*exp, "sdcguard") {
+		gcfg := experiments.DefaultBenchPR4()
+		gcfg.Seed = *flipSeed
+		gcfg.Rate = *flipRate
+		res, tb, err := experiments.BenchPR4(gcfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		emit("bench_pr4", tb)
+		if err := res.WriteJSON(*guardOut); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n\n", *guardOut)
 	}
 	fig7cfg := experiments.DefaultFig7()
 	if *paper {

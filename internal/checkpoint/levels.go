@@ -13,16 +13,19 @@ import (
 //
 // Format (little-endian): magic "NBLV", version u32, block u64,
 // stepsDone u64, timeRanks u64, t f64, nLevels u64, then per level:
-// dim u64 + dim×f64 — and a trailing FNV-1a checksum over everything
-// before it, like the particle format.
+// dim u64 + dim×f64, then (version ≥ 2) a diagnostics block of
+// count u64 + count×f64 — and a trailing FNV-1a checksum over
+// everything before it, like the particle format. Version 1 files
+// (no diagnostics block) still read back with a nil Diag.
 const (
 	levelMagic   = "NBLV"
-	levelVersion = 1
+	levelVersion = 2
 
 	// Bounds on untrusted header fields, enforced before the checksum
 	// can verify so a corrupt file can't drive huge allocations.
 	maxLevels   = 64
 	maxLevelDim = 1 << 28
+	maxDiag     = 64
 )
 
 // LevelState is a PFASST block-restart checkpoint: the solver's
@@ -43,12 +46,21 @@ type LevelState struct {
 	// (coarse levels are rebuilt by restriction), but the format
 	// carries the full hierarchy for solvers that need it.
 	U [][]float64
+	// Diag is an optional diagnostics block (the guard layer stores
+	// the nine conserved invariants Ω, I, A of the fine state here):
+	// a resume can then detect body corruption that slipped past the
+	// file checksum by recomputing the invariants from U. Nil for
+	// version 1 files and saves without a guard.
+	Diag []float64
 }
 
 // WriteLevels serializes st to w.
 func WriteLevels(w io.Writer, st *LevelState) error {
 	if len(st.U) > maxLevels {
 		return fmt.Errorf("checkpoint: %d levels exceeds limit %d", len(st.U), maxLevels)
+	}
+	if len(st.Diag) > maxDiag {
+		return fmt.Errorf("checkpoint: %d diagnostics exceed limit %d", len(st.Diag), maxDiag)
 	}
 	h := fnv.New64a()
 	mw := io.MultiWriter(w, h)
@@ -80,6 +92,16 @@ func WriteLevels(w io.Writer, st *LevelState) error {
 			return fmt.Errorf("checkpoint: %w", err)
 		}
 	}
+	binary.LittleEndian.PutUint64(b8[:], uint64(len(st.Diag)))
+	if _, err := mw.Write(b8[:]); err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	for _, v := range st.Diag {
+		binary.LittleEndian.PutUint64(b8[:], math.Float64bits(v))
+		if _, err := mw.Write(b8[:]); err != nil {
+			return fmt.Errorf("checkpoint: %w", err)
+		}
+	}
 	var sum [8]byte
 	binary.LittleEndian.PutUint64(sum[:], h.Sum64())
 	if _, err := w.Write(sum[:]); err != nil {
@@ -103,8 +125,9 @@ func ReadLevels(r io.Reader) (*LevelState, error) {
 	if string(head[:4]) != levelMagic {
 		return nil, fmt.Errorf("checkpoint: bad level magic %q", head[:4])
 	}
-	if v := binary.LittleEndian.Uint32(head[4:]); v != levelVersion {
-		return nil, fmt.Errorf("checkpoint: unsupported level version %d", v)
+	version := binary.LittleEndian.Uint32(head[4:])
+	if version < 1 || version > levelVersion {
+		return nil, fmt.Errorf("checkpoint: unsupported level version %d", version)
 	}
 	st := &LevelState{
 		Block:     int(int64(binary.LittleEndian.Uint64(head[8:]))),
@@ -145,6 +168,21 @@ func ReadLevels(r io.Reader) (*LevelState, error) {
 			got += n
 		}
 		st.U = append(st.U, u)
+	}
+	if version >= 2 {
+		if _, err := io.ReadFull(tr, b8[:]); err != nil {
+			return nil, fmt.Errorf("checkpoint: short diagnostics count: %w", err)
+		}
+		nd := binary.LittleEndian.Uint64(b8[:])
+		if nd > maxDiag {
+			return nil, fmt.Errorf("checkpoint: %d diagnostics exceed limit %d", nd, maxDiag)
+		}
+		for i := uint64(0); i < nd; i++ {
+			if _, err := io.ReadFull(tr, b8[:]); err != nil {
+				return nil, fmt.Errorf("checkpoint: short diagnostics: %w", err)
+			}
+			st.Diag = append(st.Diag, math.Float64frombits(binary.LittleEndian.Uint64(b8[:])))
+		}
 	}
 	want := h.Sum64()
 	var sum [8]byte

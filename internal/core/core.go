@@ -18,6 +18,7 @@ import (
 	"fmt"
 
 	"repro/internal/field"
+	"repro/internal/guard"
 	"repro/internal/hot"
 	"repro/internal/kernel"
 	"repro/internal/machine"
@@ -177,6 +178,13 @@ type Config struct {
 	// recovery). Crash recovery is supported for PS = 1: the time
 	// communicator can shrink, the spatial one cannot.
 	Resilience pfasst.Resilience
+	// Guard configures the silent-data-corruption detectors and the
+	// recovery ladder (package guard). When Enabled, every rank gets a
+	// private guard wired into its tree builds (ABFT moment checks)
+	// and its PFASST time loop (state checksum, block-end monitors).
+	// Like the recovery ladder's collective decisions, it requires
+	// PS = 1 (enforced by the façade).
+	Guard guard.Policy
 }
 
 // Default returns the paper's configuration PFASST(2,2,·) with
@@ -232,6 +240,10 @@ func RunSpaceTime(world *mpi.Comm, cfg Config, full *particle.System, t0, t1 flo
 	timeComm := world.Split(spatial, slice)
 
 	local := hot.BlockPartition(full, spatial, cfg.PS)
+	var grd *guard.Guard
+	if cfg.Guard.Enabled {
+		grd = guard.New(cfg.Guard, world.Rank(), cfg.Tel)
+	}
 	levels := cfg.Levels
 	if len(levels) == 0 {
 		levels = []LevelTheta{
@@ -242,12 +254,16 @@ func RunSpaceTime(world *mpi.Comm, cfg Config, full *particle.System, t0, t1 flo
 	specs := make([]pfasst.LevelSpec, len(levels))
 	systems := make([]*DistVortexSystem, len(levels))
 	for i, l := range levels {
-		solver := hot.New(spaceComm, hot.Config{
+		hcfg := hot.Config{
 			Sm: cfg.Sm, Scheme: cfg.Scheme, Theta: l.Theta,
 			LeafCap: cfg.LeafCap, Dipole: cfg.Dipole, Model: cfg.Model, Threads: cfg.Threads,
 			Traversal: cfg.Traversal, StealGrain: cfg.StealGrain,
 			Tel: cfg.Tel,
-		})
+		}
+		if grd != nil {
+			hcfg.Hook = grd
+		}
+		solver := hot.New(spaceComm, hcfg)
 		systems[i] = NewDistVortexSystem(local, solver)
 		systems[i].Instrument(cfg.Tel, i)
 		specs[i] = pfasst.LevelSpec{Sys: systems[i], NNodes: l.NNodes}
@@ -262,6 +278,7 @@ func RunSpaceTime(world *mpi.Comm, cfg Config, full *particle.System, t0, t1 flo
 		Tol:          cfg.Tol,
 		Tel:          cfg.Tel,
 		Resilience:   cfg.Resilience,
+		Guard:        grd,
 	}
 	u0 := local.PackNew()
 	pres, err := pfasst.Run(timeComm, pcfg, t0, t1, nsteps, u0)

@@ -95,6 +95,11 @@ type Config struct {
 	// must be private to the rank; merge Snapshots across ranks
 	// afterwards. A nil registry costs nothing on the hot path.
 	Tel *telemetry.Registry
+	// Hook, when non-nil, observes every locally built tree before use
+	// (guard layer: moment-flip injection + ABFT verification with
+	// rebuild on detection). The rebuild loop is collective-free, so
+	// ranks may retry independently. Nil costs nothing.
+	Hook tree.BuildHook
 }
 
 // Stats describes the work of the most recent evaluation on this rank.
@@ -311,7 +316,7 @@ func (s *Solver) run(sys *particle.System, disc tree.Discipline, vel, stretch []
 		rt.inflight = make(map[uint64]chan struct{})
 	}
 	if local.N() > 0 {
-		rt.ltree = tree.Build(local, tree.BuildConfig{
+		rt.ltree = tree.BuildWithHook(s.cfg.Hook, local, tree.BuildConfig{
 			LeafCap:    s.cfg.LeafCap,
 			Discipline: disc,
 			Domain:     &dom,

@@ -39,10 +39,34 @@ func (pw Pairwise) h(rho float64) float64 {
 	return pw.hWithQ(rho, pw.Sm.Q(rho))
 }
 
+// fOf evaluates F(r) = q(ρ)/|r|³. Below hSwitch the quotient is taken
+// through the ζ series of q — q(ρ) = 4π(ζ0 ρ³/3 + ζ1 ρ⁵/5 + …) — whose
+// ρ³ factor cancels |r|³ analytically:
+//
+//	F = 4π(ζ0/3 + ζ1 ρ²/5 + ζ2 ρ⁴/7 + ζ3 ρ⁶/9)/σ³.
+//
+// The direct quotient underflows for denormal separations (q → 0 and
+// |r|³ → 0 produce 0/0 = NaN near |r| ≈ 1e-108), while the series form
+// stays finite down to |r| = 0. The truly singular kernel (q ≡ 1,
+// ζ ≡ 0) keeps the direct form: it has no series and diverges by
+// definition.
+func (pw Pairwise) fOf(rho, d2, d float64) float64 {
+	if rho < hSwitch {
+		if z := pw.Sm.ZetaSeries(); z[0] != 0 {
+			r2 := rho * rho
+			s3 := pw.Sigma * pw.Sigma * pw.Sigma
+			return 4 * math.Pi * (z[0]/3 + r2*(z[1]/5+r2*(z[2]/7+r2*(z[3]/9)))) / s3
+		}
+	}
+	return pw.Sm.Q(rho) / (d2 * d)
+}
+
 // hWithQ is h for callers that already hold q(ρ): VelocityGrad needs
 // q(ρ) for the velocity anyway, and reusing it here removes one of the
 // two q evaluations from the innermost loop of every interaction
 // (bitwise-neutral — both call sites computed the identical value).
+// The q argument is ignored below hSwitch, where the series form needs
+// no q.
 func (pw Pairwise) hWithQ(rho, q float64) float64 {
 	if rho < hSwitch {
 		// Series: q = 4π(ζ0 ρ³/3 + ζ2 ρ⁵/5 + ζ4 ρ⁷/7 + ζ6 ρ⁹/9 + …)
@@ -65,7 +89,7 @@ func (pw Pairwise) Velocity(r, alpha vec.Vec3) vec.Vec3 {
 	}
 	d := math.Sqrt(d2)
 	rho := d / pw.Sigma
-	f := pw.Sm.Q(rho) / (d2 * d)
+	f := pw.fOf(rho, d2, d)
 	return r.Cross(alpha).Scale(-f / (4 * math.Pi))
 }
 
@@ -78,8 +102,11 @@ func (pw Pairwise) VelocityGrad(r, alpha vec.Vec3) (vec.Vec3, vec.Mat3) {
 	}
 	d := math.Sqrt(d2)
 	rho := d / pw.Sigma
-	q := pw.Sm.Q(rho)
-	f := q / (d2 * d)
+	var q float64
+	if rho >= hSwitch {
+		q = pw.Sm.Q(rho) // below hSwitch both fOf and hWithQ use the series
+	}
+	f := pw.fOf(rho, d2, d)
 	inv4pi := 1 / (4 * math.Pi)
 
 	rxA := r.Cross(alpha)

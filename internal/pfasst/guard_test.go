@@ -1,0 +1,339 @@
+package pfasst
+
+import (
+	"encoding/binary"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/checkpoint"
+	"repro/internal/fault"
+	"repro/internal/guard"
+	"repro/internal/mpi"
+	"repro/internal/ode"
+	"repro/internal/telemetry"
+)
+
+// guardedRun executes a guarded PFASST solve on p ranks, building one
+// Guard per rank (guards carry per-rank shadow state and must not be
+// shared across the simulated ranks).
+func guardedRun(p int, base Config, pol guard.Policy, reg *telemetry.Registry, t1 float64, nsteps int, u0 []float64) ([]float64, error) {
+	var out []float64
+	err := mpi.Run(p, func(c *mpi.Comm) error {
+		cfg := base
+		cfg.Guard = guard.New(pol, c.Rank(), reg)
+		res, err := Run(c, cfg, 0, t1, nsteps, u0)
+		if err != nil {
+			return err
+		}
+		if c.Rank() == p-1 {
+			out = res.U
+		}
+		c.Barrier()
+		return nil
+	})
+	return out, err
+}
+
+func bitwiseEq(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// An enabled guard with no fault plan must reproduce the plain code
+// path byte for byte: the detectors only observe, never perturb.
+func TestGuardedCleanBitwise(t *testing.T) {
+	sys, exact := ode.Oscillator(1)
+	u0 := exact(0)
+	const p, nsteps = 4, 8
+	cfg := Config{Levels: twoLevel(sys), Iterations: 6, CoarseSweeps: 2}
+
+	want, wantRes := runPFASST(t, sys, cfg, p, 2, nsteps, u0)
+
+	reg := telemetry.New()
+	got, err := guardedRun(p, cfg, guard.Policy{Enabled: true}, reg, 2, nsteps, u0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bitwiseEq(got, want) {
+		t.Fatalf("guarded clean run differs bitwise from plain run: %v vs %v", got, want)
+	}
+	s := reg.Snapshot()
+	for _, c := range []string{guard.CounterDetected, guard.CounterInjected, guard.CounterRollback, guard.CounterRedo, guard.CounterAborts} {
+		if s.Counters[c] != 0 {
+			t.Errorf("clean run incremented %s = %d", c, s.Counters[c])
+		}
+	}
+	_ = wantRes
+}
+
+// Transient bit flips in the block-start state are caught by the
+// checksum scrub and rolled back from the shadow copy, leaving the
+// final answer bitwise identical to the clean run.
+func TestGuardedStateFlipsRecovered(t *testing.T) {
+	sys, exact := ode.Oscillator(1)
+	u0 := exact(0)
+	const p, nsteps = 4, 8
+	cfg := Config{Levels: twoLevel(sys), Iterations: 6, CoarseSweeps: 2}
+	want, _ := runPFASST(t, sys, cfg, p, 2, nsteps, u0)
+
+	injTotal := int64(0)
+	for seed := int64(0); seed < 24; seed++ {
+		// The state has only 2 words, so a fat per-word rate is needed
+		// to see flips at all; recovery converges because transient
+		// flips re-roll per rollback attempt.
+		mem, err := fault.ParseMem("rate=0.1,in=state", seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pol := guard.Policy{Enabled: true, Mem: mem, MaxRollback: 8}
+		reg := telemetry.New()
+		got, err := guardedRun(p, cfg, pol, reg, 2, nsteps, u0)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !bitwiseEq(got, want) {
+			t.Fatalf("seed %d: recovered run differs bitwise from clean run", seed)
+		}
+		s := reg.Snapshot()
+		injTotal += s.Counters[guard.CounterInjected]
+		if det, rec := s.Counters[guard.CounterDetected], s.Counters[guard.CounterRecovered]; det != rec {
+			t.Fatalf("seed %d: detected %d != recovered %d", seed, det, rec)
+		}
+		if s.Counters[guard.CounterDetected] < s.Counters[guard.CounterInjected] {
+			t.Fatalf("seed %d: detected %d < injected %d (silent corruption)",
+				seed, s.Counters[guard.CounterDetected], s.Counters[guard.CounterInjected])
+		}
+	}
+	if injTotal == 0 {
+		t.Fatal("no flips injected across any seed; test exercised nothing")
+	}
+}
+
+// A sticky flip reappears after every rollback, so the ladder must
+// exhaust and abort with a typed Violation — never a wrong answer.
+func TestGuardedStickyAborts(t *testing.T) {
+	sys, exact := ode.Oscillator(1)
+	u0 := exact(0)
+	const p, nsteps = 4, 8
+	cfg := Config{Levels: twoLevel(sys), Iterations: 6, CoarseSweeps: 2}
+	want, _ := runPFASST(t, sys, cfg, p, 2, nsteps, u0)
+
+	aborts := 0
+	for seed := int64(0); seed < 8; seed++ {
+		mem, err := fault.ParseMem("rate=0.5,in=state,sticky", seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pol := guard.Policy{Enabled: true, Mem: mem}
+		reg := telemetry.New()
+		got, err := guardedRun(p, cfg, pol, reg, 2, nsteps, u0)
+		if err == nil {
+			// The seed happened to plan no flips: the run must then be
+			// bitwise clean. Silent wrong answers are the one forbidden
+			// outcome.
+			if !bitwiseEq(got, want) {
+				t.Fatalf("seed %d: no error but corrupted answer", seed)
+			}
+			continue
+		}
+		aborts++
+		var v *guard.Violation
+		if !errors.As(err, &v) {
+			t.Fatalf("seed %d: abort error is not a *guard.Violation: %v", seed, err)
+		}
+		if !errors.Is(err, guard.ErrCorrupt) {
+			t.Fatalf("seed %d: abort error does not wrap guard.ErrCorrupt: %v", seed, err)
+		}
+		if v.Monitor == "" {
+			t.Fatalf("seed %d: violation has empty monitor name", seed)
+		}
+		if s := reg.Snapshot(); s.Counters[guard.CounterAborts] == 0 {
+			t.Fatalf("seed %d: typed abort without %s increment", seed, guard.CounterAborts)
+		}
+	}
+	if aborts == 0 {
+		t.Fatal("no seed produced a sticky abort; rate too low to exercise the ladder")
+	}
+}
+
+// Flips injected into the block-end buffer trigger a collective block
+// redo; transient flips re-roll, so the redo converges and the answer
+// stays within the degraded tolerance of the clean run (extra SDC
+// sweeps from attempt 2 onward may perturb it below solver accuracy).
+func TestGuardedBlockRedoRecovers(t *testing.T) {
+	sys, exact := ode.Oscillator(1)
+	u0 := exact(0)
+	const p, nsteps = 4, 8
+	cfg := Config{Levels: twoLevel(sys), Iterations: 8, CoarseSweeps: 2}
+	want, _ := runPFASST(t, sys, cfg, p, 2, nsteps, u0)
+
+	detTotal := int64(0)
+	for seed := int64(0); seed < 24; seed++ {
+		// Only exponent-raising flips are reliably visible to the
+		// max-abs scan on O(1) oscillator values; bit 62 turns any
+		// such value into ~1e300 or Inf.
+		mem, err := fault.ParseMem("rate=0.05,in=block,bits=62-62", seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pol := guard.Policy{Enabled: true, Mem: mem, MaxRecompute: 8}
+		reg := telemetry.New()
+		got, err := guardedRun(p, cfg, pol, reg, 2, nsteps, u0)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		s := reg.Snapshot()
+		detTotal += s.Counters[guard.CounterDetected]
+		if d := ode.MaxDiff(got, want); d > 1e-6 {
+			t.Fatalf("seed %d: recovered run deviates %g from clean run", seed, d)
+		}
+		if s.Counters[guard.CounterRedo] == 0 && !bitwiseEq(got, want) {
+			t.Fatalf("seed %d: no redo yet answer differs bitwise", seed)
+		}
+		if det, rec := s.Counters[guard.CounterDetected], s.Counters[guard.CounterRecovered]; det != rec {
+			t.Fatalf("seed %d: detected %d != recovered %d", seed, det, rec)
+		}
+	}
+	if detTotal == 0 {
+		t.Fatal("no block-end flip detected across any seed")
+	}
+}
+
+// sixDimSystem is a minimal ODE whose state has the particle layout
+// (6 floats = position + circulation of one particle), so the guard's
+// checkpoint invariants engage. The dynamics are frozen (f = 0): the
+// block-end invariant monitors assume conserved circulation/impulse,
+// which a dissipative toy system would genuinely violate.
+func sixDimSystem() ode.System {
+	return ode.FuncSystem{N: 6, Fn: func(t float64, u, f []float64) {
+		for i := range f {
+			f[i] = 0
+		}
+	}}
+}
+
+func fnv64a(b []byte) uint64 {
+	h := uint64(14695981039346656037)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= 1099511628211
+	}
+	return h
+}
+
+// writeGuardCheckpoint saves a v2 checkpoint carrying the guard's
+// invariant diagnostics for the given fine state.
+func writeGuardCheckpoint(t *testing.T, dir string, u []float64) string {
+	t.Helper()
+	g := guard.New(guard.Policy{Enabled: true}, 0, nil)
+	st := &checkpoint.LevelState{
+		Block:     1,
+		StepsDone: 2,
+		TimeRanks: 2,
+		T:         1,
+		U:         [][]float64{append([]float64(nil), u...)},
+		Diag:      g.CheckpointDiag(u),
+	}
+	if len(st.Diag) == 0 {
+		t.Fatal("CheckpointDiag returned no invariants for a 6-float state")
+	}
+	path := filepath.Join(dir, "pfasst.nblv")
+	if err := checkpoint.SaveLevels(path, st); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// Satellite: -resume must reject a checkpoint whose body was corrupted
+// *after* the file checksum was computed (the flip keeps the CRC
+// valid), because the stored invariants no longer match the state.
+func TestResumeRejectsCorruptCheckpoint(t *testing.T) {
+	sys := sixDimSystem()
+	u0 := []float64{0.3, -0.2, 0.5, 0.7, 0.4, -0.6}
+	const p, nsteps = 2, 4
+	run := func(dir string) error {
+		cfg := Config{
+			Levels: twoLevel(sys), Iterations: 4, CoarseSweeps: 2,
+			Resilience: Resilience{Enabled: true, CheckpointDir: dir, Resume: true},
+		}
+		return mpi.Run(p, func(c *mpi.Comm) error {
+			cfg := cfg
+			cfg.Guard = guard.New(guard.Policy{Enabled: true}, c.Rank(), nil)
+			_, err := Run(c, cfg, 0, 2, nsteps, u0)
+			return err
+		})
+	}
+
+	t.Run("clean checkpoint resumes", func(t *testing.T) {
+		dir := t.TempDir()
+		writeGuardCheckpoint(t, dir, u0)
+		if err := run(dir); err != nil {
+			t.Fatalf("clean resume failed: %v", err)
+		}
+	})
+
+	t.Run("body flip past the CRC is rejected", func(t *testing.T) {
+		dir := t.TempDir()
+		path := writeGuardCheckpoint(t, dir, u0)
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// First fine-state word sits after the 48-byte header and the
+		// 8-byte level dim. Flip its top mantissa bit (0.3 → ~0.425):
+		// finite, plausible, but invariant-breaking.
+		const off = 48 + 8
+		w := binary.LittleEndian.Uint64(raw[off:])
+		binary.LittleEndian.PutUint64(raw[off:], w^(1<<51))
+		// Recompute the trailing FNV so the file-level checksum passes
+		// and only the guard's invariant check can catch the flip.
+		binary.LittleEndian.PutUint64(raw[len(raw)-8:], fnv64a(raw[:len(raw)-8]))
+		if err := os.WriteFile(path, raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		err = run(dir)
+		if err == nil {
+			t.Fatal("resume accepted a checkpoint with corrupted body")
+		}
+		var v *guard.Violation
+		if !errors.As(err, &v) {
+			t.Fatalf("rejection is not a typed *guard.Violation: %v", err)
+		}
+		if !errors.Is(err, guard.ErrCorrupt) {
+			t.Fatalf("rejection does not wrap guard.ErrCorrupt: %v", err)
+		}
+		if !strings.Contains(err.Error(), "resume rejected") {
+			t.Fatalf("rejection does not name the resume path: %v", err)
+		}
+	})
+
+	t.Run("flip caught by file checksum is a typed error", func(t *testing.T) {
+		dir := t.TempDir()
+		path := writeGuardCheckpoint(t, dir, u0)
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw[60] ^= 0x10 // body flip, checksum left stale
+		if err := os.WriteFile(path, raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		err = run(dir)
+		if err == nil {
+			t.Fatal("resume accepted a checkpoint failing its checksum")
+		}
+		if !strings.Contains(err.Error(), "resume") {
+			t.Fatalf("corrupt-file error does not name the resume path: %v", err)
+		}
+	})
+}

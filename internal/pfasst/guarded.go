@@ -1,0 +1,80 @@
+package pfasst
+
+import (
+	"repro/internal/mpi"
+)
+
+// runGuarded is the plain time loop wrapped in the guard layer's
+// detect/recover cycle. Per block it
+//
+//  1. scrubs the committed block-start state against its checksum
+//     (rollback to the shadow copy on mismatch — the replicated state
+//     is the at-rest window most exposed to memory corruption),
+//  2. runs the block and broadcasts the end value as usual,
+//  3. injects the configured block-domain flips into the end value and
+//     runs the block-end detectors (NaN/Inf scan, magnitude ceiling,
+//     invariant monitors), and
+//  4. on a violation redoes the block from the unchanged start state —
+//     adding ExtraSweeps fine sweeps from the second redo on — up to
+//     MaxRecompute times before returning the typed Violation.
+//
+// Every decision is taken on data all time ranks hold identically
+// (the fault plan's hash excludes the rank), so the ladder needs no
+// extra agreement rounds: ranks redo and commit in lockstep. A redo
+// truncates the per-block Result records appended by the rejected
+// attempt; sweep counters keep the redone work, which really ran.
+func runGuarded(comm *mpi.Comm, cfg Config, levels []*level, t0, t1 float64, nsteps int, u0 []float64, res *Result, pb *probe) error {
+	g := cfg.Guard
+	p := comm.Size()
+	rank := comm.Rank()
+	dt := (t1 - t0) / float64(nsteps)
+	blocks := nsteps / p
+
+	u := append([]float64(nil), u0...)
+	if v := g.ValidateState(u, "initial state", 0); v != nil {
+		g.RecordAbort()
+		return v
+	}
+	g.CommitState(u, 0)
+
+	for b := 0; b < blocks; b++ {
+		if v := g.ScrubState(u); v != nil {
+			return v
+		}
+		tn := t0 + (float64(b*p)+float64(rank))*dt
+		nRes, nDiff, nIter := len(res.Residuals), len(res.IterDiffs), len(res.IterationsRun)
+		pending := 0
+		for attempt := 0; ; attempt++ {
+			acfg := cfg
+			if attempt >= 2 {
+				acfg.FineSweeps += g.Policy().ExtraSweepsN()
+			}
+			blockRes := runBlock(comm, acfg, levels, tn, dt, u, b, res, pb)
+			end := mpi.BytesToFloat64s(comm.Bcast(p-1, mpi.Float64sToBytes(blockRes)))
+			g.CheckResidual(b, res.Residuals[len(res.Residuals)-1]) // advisory, rank-local
+			inj := g.InjectBlockEnd(end, b, attempt)
+			v := g.CheckBlockEnd(end, b, inj)
+			if v == nil {
+				g.RecordRecovered(pending)
+				u = end
+				break
+			}
+			if inj > 0 {
+				pending += inj
+			} else {
+				pending++
+			}
+			if attempt >= g.Policy().MaxRecomputeN() {
+				g.RecordAbort()
+				return v
+			}
+			res.Residuals = res.Residuals[:nRes]
+			res.IterDiffs = res.IterDiffs[:nDiff]
+			res.IterationsRun = res.IterationsRun[:nIter]
+			g.RecordRedo()
+		}
+		g.CommitState(u, b+1)
+	}
+	res.U = u
+	return nil
+}

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/guard"
 	"repro/internal/mpi"
 	"repro/internal/ode"
 	"repro/internal/quadrature"
@@ -65,6 +66,10 @@ type Config struct {
 	// Resilience selects the fault-tolerant execution path (see
 	// resilient.go). The zero value runs the plain solver unchanged.
 	Resilience Resilience
+	// Guard, when non-nil, runs the silent-data-corruption detectors
+	// and recovery ladder around every block (see guarded.go). Nil
+	// runs the plain solver unchanged, byte for byte.
+	Guard *guard.Guard
 }
 
 // Result reports one rank's view of a PFASST solve.
@@ -161,6 +166,13 @@ func Run(comm *mpi.Comm, cfg Config, t0, t1 float64, nsteps int, u0 []float64) (
 
 	if cfg.Resilience.Enabled {
 		if err := runResilient(comm, cfg, levels, t0, t1, nsteps, u0, &res, &pb); err != nil {
+			return Result{}, err
+		}
+		return res, nil
+	}
+
+	if cfg.Guard != nil {
+		if err := runGuarded(comm, cfg, levels, t0, t1, nsteps, u0, &res, &pb); err != nil {
 			return Result{}, err
 		}
 		return res, nil

@@ -3,6 +3,7 @@ package pfasst
 import (
 	"errors"
 	"fmt"
+	"io/fs"
 	"path/filepath"
 	"time"
 
@@ -118,9 +119,17 @@ func runResilient(comm *mpi.Comm, cfg Config, levels []*level, t0, t1 float64, n
 	gen := 0 // block-attempt generation, identical on all survivors
 
 	if rz.Resume && rz.CheckpointDir != "" {
-		if st, err := checkpoint.LoadLevels(rz.checkpointPath()); err == nil {
+		st, err := checkpoint.LoadLevels(rz.checkpointPath())
+		switch {
+		case err == nil:
 			if len(st.U) == 0 || len(st.U[0]) != len(u0) {
 				return fmt.Errorf("pfasst: checkpoint dim does not match problem dim %d", len(u0))
+			}
+			// Guard vetting: a flipped body word that happens to keep the
+			// file checksum intact (or was flipped before the checksum was
+			// computed) cannot reproduce the stored invariants.
+			if v := cfg.Guard.ValidateCheckpoint(st.U[0], st.Diag, st.Block); v != nil {
+				return fmt.Errorf("pfasst: resume rejected: %w", v)
 			}
 			stepsDone = st.StepsDone
 			block = st.Block
@@ -128,11 +137,24 @@ func runResilient(comm *mpi.Comm, cfg Config, levels []*level, t0, t1 float64, n
 			if stepsDone > nsteps {
 				return fmt.Errorf("pfasst: checkpoint has %d steps done, run wants %d", stepsDone, nsteps)
 			}
+		case errors.Is(err, fs.ErrNotExist):
+			// Missing checkpoint: start from the beginning.
+		default:
+			// A present-but-unreadable checkpoint (bad magic, truncation,
+			// checksum mismatch) is corruption, not absence: resuming
+			// from t0 would silently discard committed work.
+			return fmt.Errorf("pfasst: resume: %w", err)
 		}
 	}
+	g := cfg.Guard
+	g.CommitState(u, block)
 
 	retries := 0
+	gpending := 0
 	for stepsDone < nsteps {
+		if v := g.ScrubState(u); v != nil {
+			return v
+		}
 		p := cur.Size()
 		if nsteps-stepsDone < p {
 			// Degraded tail: fewer steps remain than survivors. Serial
@@ -154,6 +176,22 @@ func runResilient(comm *mpi.Comm, cfg Config, levels []*level, t0, t1 float64, n
 		tn := t0 + (float64(stepsDone)+float64(cur.Rank()))*dt
 		blockEnd, err := runBlockResilient(cur, cfg, levels, tn, dt, u, block, gen, res, pb)
 
+		// Guard block-end detectors fold into the same agreement as
+		// transport failures: a corruption verdict aborts the block
+		// identically on every survivor (the end value and the injected
+		// flips are rank-independent).
+		if err == nil && g != nil {
+			ginj := g.InjectBlockEnd(blockEnd, block, retries)
+			if v := g.CheckBlockEnd(blockEnd, block, ginj); v != nil {
+				err = v
+				if ginj > 0 {
+					gpending += ginj
+				} else {
+					gpending++
+				}
+			}
+		}
+
 		ok := int64(1)
 		if err != nil {
 			ok = 0
@@ -166,6 +204,9 @@ func runResilient(comm *mpi.Comm, cfg Config, levels []*level, t0, t1 float64, n
 			gen++
 			retries = 0
 			u = blockEnd
+			g.RecordRecovered(gpending)
+			gpending = 0
+			g.CommitState(u, block)
 			if p < fullSize {
 				res.DegradedBlocks++
 				pb.degraded.Inc()
@@ -177,6 +218,7 @@ func runResilient(comm *mpi.Comm, cfg Config, levels []*level, t0, t1 float64, n
 					TimeRanks: p,
 					T:         t0 + float64(stepsDone)*dt,
 					U:         [][]float64{u},
+					Diag:      g.CheckpointDiag(u),
 				}
 				if err := checkpoint.SaveLevels(rz.checkpointPath(), st); err != nil {
 					return fmt.Errorf("pfasst: block %d checkpoint: %w", block, err)

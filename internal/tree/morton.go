@@ -76,12 +76,15 @@ func NewDomain(lo, hi vec.Vec3) Domain {
 }
 
 // Key maps a position inside the domain to its Morton key. Positions
-// outside the domain are clamped to the boundary cells.
+// outside the domain are clamped to the boundary cells; non-finite
+// coordinates deterministically map to the low boundary cell (BuildChecked
+// rejects them up front, but the key function itself must never feed a
+// NaN into the float→int conversion, whose result is target-dependent).
 func (d Domain) Key(p vec.Vec3) uint64 {
 	scale := float64(uint64(1)<<KeyBits) / d.Size
 	f := func(x, lo float64) uint32 {
 		v := (x - lo) * scale
-		if v < 0 {
+		if !(v >= 0) { // also catches NaN
 			v = 0
 		}
 		max := float64(uint64(1)<<KeyBits) - 1

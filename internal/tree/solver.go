@@ -48,6 +48,10 @@ type Solver struct {
 	// evaluator (≤0: max(LeafCap, 8)). Groups larger than a leaf
 	// amortize one list-build walk over several leaf cells.
 	GroupCap int
+	// Hook, when non-nil, observes every built tree before use (guard
+	// layer: moment-flip injection + ABFT verification with rebuild on
+	// detection). Nil costs nothing.
+	Hook BuildHook
 
 	evals        atomic.Int64
 	interactions atomic.Int64
@@ -88,7 +92,7 @@ func (s *Solver) Eval(sys *particle.System, vel, stretch []vec.Vec3) {
 		panic("tree: Eval output slices must have length N")
 	}
 	s.evals.Add(1)
-	t := Build(sys, BuildConfig{LeafCap: s.LeafCap, Discipline: Vortex})
+	t := BuildWithHook(s.Hook, sys, BuildConfig{LeafCap: s.LeafCap, Discipline: Vortex})
 	s.LastTree = t
 	pw := kernel.Pairwise{Sm: s.Sm, Sigma: sys.Sigma}
 	var inter atomic.Int64
@@ -152,7 +156,7 @@ func (s *Solver) Coulomb(sys *particle.System, eps float64, pot []float64, f []v
 		panic("tree: Coulomb output slices must have length N")
 	}
 	s.evals.Add(1)
-	t := Build(sys, BuildConfig{LeafCap: s.LeafCap, Discipline: Coulomb})
+	t := BuildWithHook(s.Hook, sys, BuildConfig{LeafCap: s.LeafCap, Discipline: Coulomb})
 	s.LastTree = t
 	var inter atomic.Int64
 	if s.Traversal == TraversalRecursive {

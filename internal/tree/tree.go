@@ -160,6 +160,15 @@ func (t *Tree) build(first, count, level int, prefix uint64) int {
 			mayLeaf = false // straddles an ownership boundary: subdivide
 		}
 	}
+	// Degenerate range: every key identical (coincident particles, or a
+	// zero-extent domain collapsing all keys to one cell). No digit can
+	// split it, so cut the leaf here instead of recursing a chain of
+	// single-child cells to full key depth. With ownership boundaries the
+	// chain is kept: it terminates in the single-key cell, which never
+	// straddles a boundary, preserving the branch-node invariant.
+	if !mayLeaf && !t.ownedSet && t.Keys[first] == t.Keys[first+count-1] {
+		mayLeaf = true
+	}
 	if mayLeaf || level >= KeyBits {
 		t.Nodes[idx].Leaf = true
 		t.accumulateLeaf(idx)

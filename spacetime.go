@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/fault"
+	"repro/internal/guard"
 	"repro/internal/kernel"
 	"repro/internal/machine"
 	"repro/internal/mpi"
@@ -68,6 +69,34 @@ type SpaceTimeConfig struct {
 	// stepping. The zero value runs the plain solver with no fault
 	// hooks (a single nil check on the hot paths).
 	Resilience ResilienceConfig
+	// Guard configures silent-data-corruption detection and the
+	// adaptive recovery ladder (numerical guardrails). The zero value
+	// runs without detectors at zero cost.
+	Guard GuardConfig
+}
+
+// GuardConfig is the façade's numerical-guardrail block: optional
+// seeded memory-fault injection plus the detect/recover ladder of
+// package guard (state checksums, ABFT tree checks, invariant
+// monitors; recompute → rollback → extra sweeps → typed abort).
+type GuardConfig struct {
+	// Enabled turns the guard layer on. Requires PS = 1: the recovery
+	// ladder's redo decisions are collective over the time
+	// communicator only.
+	Enabled bool
+	// FlipPlan is a fault.ParseMem spec describing seeded bit flips,
+	// e.g. "rate=5e-4,in=state+tree,bits=52-63" (domains: state, tree,
+	// block, ckpt; add ",sticky" for persistent faults that exhaust
+	// the ladder). Empty injects nothing — the detectors still guard
+	// against real corruption.
+	FlipPlan string
+	// FlipSeed seeds the plan's deterministic per-word verdicts.
+	FlipSeed int64
+	// MaxRecompute bounds tree rebuilds and block redos, MaxRollback
+	// bounds state restores from the shadow copy, ExtraSweeps is added
+	// to the fine sweep count from the second block redo on. Zero
+	// selects the package defaults.
+	MaxRecompute, MaxRollback, ExtraSweeps int
 }
 
 // ResilienceConfig is the facade's resilience block: a seeded fault
@@ -178,6 +207,32 @@ func RunSpaceTime(cfg SpaceTimeConfig, sys *System, t0, t1 float64, nsteps int) 
 			Resume:         rz.Resume,
 			FallbackSweeps: rz.FallbackSweeps,
 		}
+	}
+
+	gc := cfg.Guard
+	if !gc.Enabled && gc.FlipPlan != "" {
+		return nil, SpaceTimeStats{}, fmt.Errorf("nbody: Guard.FlipPlan %q set without Guard.Enabled", gc.FlipPlan)
+	}
+	if gc.Enabled {
+		if cfg.PS > 1 {
+			// Redo/rollback decisions are collective over the time
+			// communicator only; a spatial rank could not follow them.
+			return nil, SpaceTimeStats{}, fmt.Errorf("nbody: guard layer supports PS=1 only (have PS=%d)", cfg.PS)
+		}
+		pol := guard.Policy{
+			Enabled:      true,
+			MaxRecompute: gc.MaxRecompute,
+			MaxRollback:  gc.MaxRollback,
+			ExtraSweeps:  gc.ExtraSweeps,
+		}
+		if gc.FlipPlan != "" {
+			mp, err := fault.ParseMem(gc.FlipPlan, gc.FlipSeed)
+			if err != nil {
+				return nil, SpaceTimeStats{}, err
+			}
+			pol.Mem = mp
+		}
+		ccfg.Guard = pol
 	}
 
 	out := sys.Clone()
