@@ -7,6 +7,15 @@ set -eux
 
 go vet ./...
 
+# Lint lane: the repo's own invariant analyzers (determinism,
+# zero-cost hooks, error contracts, float comparisons, metric names).
+# The -json snapshot is kept and re-checked at the end of the script:
+# the report must be byte-identical no matter what ran in between —
+# the lint verdict may not depend on lane order or prior test runs.
+lint_snapshot=$(mktemp)
+go run ./cmd/nbodylint ./...
+go run ./cmd/nbodylint -json ./... >"$lint_snapshot"
+
 # Every library package must carry a package doc comment (godoc
 # presence gate); main packages are exempt from the "// Package" form.
 missing=$(go list -f '{{.Name}} {{.ImportPath}} {{.Dir}}' ./... | while read -r name pkg dir; do
@@ -49,3 +58,15 @@ go test -race -count=1 -timeout 10m \
 # Memory-fault-plan fuzz smoke: mutated mem-plan specs against the
 # parser — malformed specs must surface as errors, never panics.
 go test -run '^$' -fuzz FuzzParseMem -fuzztime 10s ./internal/fault/
+
+# Lint-infrastructure fuzz smoke: the ignore-directive parser (a
+# malformed directive must suppress nothing) and the -json emitter
+# (always a valid array, never a panic).
+go test -run '^$' -fuzz FuzzParseIgnoreDirective -fuzztime 10s ./internal/analysis/
+go test -run '^$' -fuzz FuzzEmitJSON -fuzztime 10s ./internal/analysis/
+
+# Lint order-independence: rerunning the analyzers after the race,
+# chaos and guard lanes must reproduce the snapshot taken at the top
+# byte for byte.
+go run ./cmd/nbodylint -json ./... | cmp - "$lint_snapshot"
+rm -f "$lint_snapshot"

@@ -1,0 +1,105 @@
+// Command nbodylint is the repo's own static-analysis gate: a
+// vet-style driver (internal/analysis, stdlib-only) enforcing the
+// invariants the reproduction's headline claims rest on — bitwise
+// determinism in numeric packages, zero-cost disabled hooks, the
+// errors.Is/%w error contract, float-comparison hygiene and the
+// telemetry naming convention.
+//
+// Usage:
+//
+//	go run ./cmd/nbodylint [-json] [-rules name,name] [-list] ./...
+//
+// Findings print as file:line:col: rule: message, sorted, and the
+// exit status is 1 when any finding survives suppression. Suppress a
+// single line with "//lint:ignore <rule> <reason>" on the offending
+// line or the line directly above it. -json emits the same findings
+// as a deterministic JSON array, -rules restricts the run to a
+// comma-separated subset of rules, -list prints the rule set. See
+// DESIGN.md §13.
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	jsonOut := false
+	listRules := false
+	rulesSpec := ""
+	var patterns []string
+	args := os.Args[1:]
+	for i := 0; i < len(args); i++ {
+		arg := args[i]
+		switch {
+		case arg == "-json" || arg == "--json":
+			jsonOut = true
+		case arg == "-list" || arg == "--list":
+			listRules = true
+		case arg == "-rules" || arg == "--rules":
+			i++
+			if i >= len(args) {
+				fmt.Fprintln(os.Stderr, "nbodylint: -rules needs a comma-separated rule list")
+				os.Exit(2)
+			}
+			rulesSpec = args[i]
+		case strings.HasPrefix(arg, "-rules="), strings.HasPrefix(arg, "--rules="):
+			rulesSpec = arg[strings.Index(arg, "=")+1:]
+		case arg == "-h" || arg == "-help" || arg == "--help":
+			fmt.Fprintln(os.Stderr, "usage: nbodylint [-json] [-rules name,name] [-list] <packages>  (e.g. ./...)")
+			return
+		default:
+			patterns = append(patterns, arg)
+		}
+	}
+	if listRules {
+		for _, a := range analysis.Analyzers() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	analyzers := analysis.Analyzers()
+	if rulesSpec != "" {
+		byName := make(map[string]*analysis.Analyzer, len(analyzers))
+		for _, a := range analyzers {
+			byName[a.Name] = a
+		}
+		analyzers = analyzers[:0]
+		for _, name := range strings.Split(rulesSpec, ",") {
+			name = strings.TrimSpace(name)
+			a, ok := byName[name]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "nbodylint: unknown rule %q (try -list)\n", name)
+				os.Exit(2)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	diags, err := analysis.RunRules(patterns, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nbodylint:", err)
+		os.Exit(2)
+	}
+	if jsonOut {
+		if err := analysis.EmitJSON(os.Stdout, diags); err != nil {
+			fmt.Fprintln(os.Stderr, "nbodylint:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+	}
+	if len(diags) > 0 {
+		if !jsonOut {
+			fmt.Fprintf(os.Stderr, "nbodylint: %d finding(s)\n", len(diags))
+		}
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,186 @@
+// Package analysis is a stdlib-only, vet-style static-analysis driver
+// that machine-checks the repository's cross-cutting invariants: the
+// bitwise-determinism contract of the numeric packages, the
+// zero-cost-when-disabled contract of the telemetry/guard/fault hooks,
+// the errors.Is/%w error-wrapping contract the recovery ladder depends
+// on, floating-point comparison hygiene, and the telemetry
+// counter-naming convention. Everything is built on go/ast, go/parser
+// and go/types with the source importer — no external dependencies.
+//
+// Diagnostics are reported deterministically (sorted by file, line,
+// column, rule, message) and can be suppressed per line with a
+//
+//	//lint:ignore <rule> <reason>
+//
+// directive placed on the offending line or the line directly above
+// it. A directive without a reason is malformed and suppresses
+// nothing. See DESIGN.md §13 for the rule catalogue and the
+// suppression policy.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding: a position, the rule that fired and a
+// human-readable message. The JSON field names are part of the -json
+// output contract of cmd/nbodylint.
+type Diagnostic struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Rule    string `json:"rule"`
+	Message string `json:"message"`
+}
+
+// String renders the go-vet-style file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.File, d.Line, d.Col, d.Rule, d.Message)
+}
+
+// sortDiagnostics orders findings deterministically: file, line,
+// column, rule, message. Every report path funnels through this so
+// repeated runs over the same tree emit byte-identical output.
+func sortDiagnostics(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		return a.Message < b.Message
+	})
+}
+
+// Pass is the per-package analysis context handed to each analyzer:
+// the parsed files, the type-checked package and its use/def/selection
+// info, plus the module-wide nil-safe method set (see nilsafe.go).
+type Pass struct {
+	Fset    *token.FileSet
+	Files   []*ast.File
+	Pkg     *types.Package
+	Info    *types.Info
+	NilSafe map[string]bool
+	// ModulePath scopes convention-based type matching (hook type
+	// names) to packages of the module under analysis, so stdlib types
+	// that happen to share a name (time.Timer) are not misclassified.
+	ModulePath string
+
+	suppress map[suppKey]bool
+	diags    *[]Diagnostic
+}
+
+type suppKey struct {
+	file string
+	line int
+	rule string
+}
+
+// Reportf records a finding unless a //lint:ignore directive for the
+// rule covers its line.
+func (p *Pass) Reportf(pos token.Pos, rule, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if p.suppress[suppKey{file: position.Filename, line: position.Line, rule: rule}] {
+		return
+	}
+	*p.diags = append(*p.diags, Diagnostic{
+		File:    position.Filename,
+		Line:    position.Line,
+		Col:     position.Column,
+		Rule:    rule,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// isTestFile reports whether the file the node belongs to is a _test.go
+// file. Several rules exempt tests (see each analyzer's doc).
+func (p *Pass) isTestFile(pos token.Pos) bool {
+	return strings.HasSuffix(p.Fset.Position(pos).Filename, "_test.go")
+}
+
+// Analyzer is one named rule: a documentation string and a Run
+// function that inspects a Pass and reports findings.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// Analyzers returns the full rule set in deterministic (name) order.
+func Analyzers() []*Analyzer {
+	as := []*Analyzer{
+		AnalyzerCounterName,
+		AnalyzerDeterminism,
+		AnalyzerErrWrap,
+		AnalyzerFloatEq,
+		AnalyzerHookCost,
+	}
+	sort.Slice(as, func(i, j int) bool { return as[i].Name < as[j].Name })
+	return as
+}
+
+// RunAnalyzers applies every analyzer to the unit and returns the
+// sorted, suppression-filtered findings.
+func RunAnalyzers(u *Unit, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	pass := &Pass{
+		Fset:       u.Fset,
+		Files:      u.Files,
+		Pkg:        u.Pkg,
+		Info:       u.Info,
+		NilSafe:    u.NilSafe,
+		ModulePath: u.ModulePath,
+		suppress:   collectSuppressions(u.Fset, u.Files),
+		diags:      &diags,
+	}
+	for _, a := range analyzers {
+		a.Run(pass)
+	}
+	sortDiagnostics(diags)
+	return diags
+}
+
+// inspectWithStack walks the file like ast.Inspect but hands the
+// callback the full ancestor stack (stack[len-1] is n itself).
+func inspectWithStack(file *ast.File, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(file, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		if !fn(n, stack) {
+			// The callback pruned this subtree; pop eagerly because
+			// ast.Inspect will not deliver the matching nil.
+			stack = stack[:len(stack)-1]
+			return false
+		}
+		return true
+	})
+}
+
+// errorType is the predeclared error interface, used to classify
+// sentinel operands and fmt.Errorf arguments.
+var errorType = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+// implementsError reports whether t implements the error interface.
+func implementsError(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	return types.Implements(t, errorType) || types.Implements(types.NewPointer(t), errorType)
+}

@@ -1,0 +1,75 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"regexp"
+)
+
+// AnalyzerCounterName enforces the telemetry naming convention
+// (DESIGN.md §9): every metric name passed to Registry.Counter,
+// Registry.Gauge or Registry.Timer is a lowercase dotted
+// "domain.metric" path ("hot.mac_accepts", "fault.injected",
+// "core.evals.level0"). The merged façade snapshot is keyed by these
+// strings — a stray spelling silently forks a metric into two series
+// that no emitter ever reunites. Only compile-time constant names are
+// checkable; dynamically built names (fmt.Sprintf) are out of scope,
+// as are _test.go files, which use throwaway names.
+var AnalyzerCounterName = &Analyzer{
+	Name: "countername",
+	Doc:  "telemetry metric names must match the lowercase domain.metric convention",
+	Run:  runCounterName,
+}
+
+// metricNameRE is the convention: at least two lowercase dot-joined
+// segments of [a-z0-9_], starting with a letter.
+var metricNameRE = regexp.MustCompile(`^[a-z][a-z0-9_]*(\.[a-z0-9_]+)+$`)
+
+func runCounterName(pass *Pass) {
+	for _, f := range pass.Files {
+		if pass.isTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) != 1 {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			switch sel.Sel.Name {
+			case "Counter", "Gauge", "Timer":
+			default:
+				return true
+			}
+			if pass.Info.Selections[sel] == nil || !isRegistryPointer(pass.Info.Types[sel.X].Type) {
+				return true
+			}
+			tv, ok := pass.Info.Types[call.Args[0]]
+			if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+				return true
+			}
+			name := constant.StringVal(tv.Value)
+			if metricNameRE.MatchString(name) {
+				return true
+			}
+			pass.Reportf(call.Args[0].Pos(), "countername",
+				"telemetry metric name %q does not match the lowercase domain.metric convention (e.g. \"hot.mac_accepts\")", name)
+			return true
+		})
+	}
+}
+
+// isRegistryPointer matches *Registry receivers (the telemetry
+// registry; matched by type name so hermetic testdata works).
+func isRegistryPointer(t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	return ok && named.Obj().Name() == "Registry"
+}

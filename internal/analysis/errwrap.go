@@ -1,0 +1,123 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// AnalyzerErrWrap enforces the typed-error contract of the resilience
+// and guard layers (DESIGN.md §11, §12): failures travel as wrapped
+// sentinel chains (guard.Violation wrapping guard.ErrCorrupt, mpi
+// re-wrapping rank errors), so
+//
+//   - comparing a sentinel like mpi.ErrRankDead or guard.ErrCorrupt
+//     with == or != misses every wrapped occurrence — errors.Is (or
+//     errors.As for typed values) is required, in tests too;
+//   - rewrapping an error with fmt.Errorf("...: %v", err) strips the
+//     chain and silently breaks every errors.Is/errors.As caller
+//     downstream — %w keeps the chain intact. Test files are exempt
+//     from the %w form: tests format failure *messages*, they do not
+//     propagate errors.
+var AnalyzerErrWrap = &Analyzer{
+	Name: "errwrap",
+	Doc:  "sentinel errors need errors.Is, and fmt.Errorf rewrapping needs %w",
+	Run:  runErrWrap,
+}
+
+func runErrWrap(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch node := n.(type) {
+			case *ast.BinaryExpr:
+				checkSentinelCompare(pass, node)
+			case *ast.CallExpr:
+				checkErrorfWrap(pass, node)
+			}
+			return true
+		})
+	}
+}
+
+// checkSentinelCompare flags ==/!= where either operand is a
+// package-level error variable named Err*.
+func checkSentinelCompare(pass *Pass, be *ast.BinaryExpr) {
+	if be.Op != token.EQL && be.Op != token.NEQ {
+		return
+	}
+	for _, operand := range [2]ast.Expr{be.X, be.Y} {
+		name, ok := sentinelName(pass, operand)
+		if !ok {
+			continue
+		}
+		hint := "errors.Is"
+		if be.Op == token.NEQ {
+			hint = "!errors.Is"
+		}
+		pass.Reportf(be.Pos(), "errwrap",
+			"sentinel %s compared with %s: wrapped chains never match, use %s (error-contract of the guard ladder)",
+			name, be.Op, hint)
+		return
+	}
+}
+
+// sentinelName reports whether e is a package-level error variable
+// whose name starts with Err, returning its display name.
+func sentinelName(pass *Pass, e ast.Expr) (string, bool) {
+	var id *ast.Ident
+	switch x := unparen(e).(type) {
+	case *ast.Ident:
+		id = x
+	case *ast.SelectorExpr:
+		id = x.Sel
+	default:
+		return "", false
+	}
+	obj, ok := pass.Info.Uses[id].(*types.Var)
+	if !ok || obj.Pkg() == nil || obj.Parent() != obj.Pkg().Scope() {
+		return "", false
+	}
+	if !strings.HasPrefix(obj.Name(), "Err") || !implementsError(obj.Type()) {
+		return "", false
+	}
+	return obj.Name(), true
+}
+
+// checkErrorfWrap flags fmt.Errorf calls whose verbs do not include
+// %w while an argument is an error (non-test files only).
+func checkErrorfWrap(pass *Pass, call *ast.CallExpr) {
+	if pass.isTestFile(call.Pos()) {
+		return
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "fmt" || fn.Name() != "Errorf" {
+		return
+	}
+	if len(call.Args) < 2 {
+		return
+	}
+	tv, ok := pass.Info.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return
+	}
+	if strings.Contains(constant.StringVal(tv.Value), "%w") {
+		return
+	}
+	for _, arg := range call.Args[1:] {
+		argType, ok := pass.Info.Types[arg]
+		if !ok || argType.Type == nil {
+			continue
+		}
+		if implementsError(argType.Type) {
+			pass.Reportf(call.Pos(), "errwrap",
+				"fmt.Errorf formats an error without %%w: the wrapped chain is lost and errors.Is/errors.As callers downstream stop matching")
+			return
+		}
+	}
+}

@@ -1,0 +1,55 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AnalyzerFloatEq flags == and != on floating-point operands in
+// non-test code. IEEE-754 equality is almost never the intended
+// predicate: +0 equals −0, NaN equals nothing (including itself), and
+// one rounding difference flips the result. Bitwise identity checks
+// belong on math.Float64bits; tolerance checks belong on an epsilon.
+// The recognized exceptions: _test.go files (the bitwise-identity
+// test helpers of the determinism regression live there), the x != x
+// NaN probe, and all-constant comparisons. Intentional exact
+// comparisons in library code carry a //lint:ignore floateq directive
+// with the reason — that documentation duty is the point of the rule.
+var AnalyzerFloatEq = &Analyzer{
+	Name: "floateq",
+	Doc:  "floating-point ==/!= outside bitwise-identity test helpers",
+	Run:  runFloatEq,
+}
+
+func runFloatEq(pass *Pass) {
+	for _, f := range pass.Files {
+		if pass.isTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			xt, xok := pass.Info.Types[be.X]
+			yt, yok := pass.Info.Types[be.Y]
+			if !xok || !yok {
+				return true
+			}
+			if !isFloat(xt.Type) && !isFloat(yt.Type) {
+				return true
+			}
+			if xt.Value != nil && yt.Value != nil {
+				return true // constant fold, decided at compile time
+			}
+			if types.ExprString(be.X) == types.ExprString(be.Y) {
+				return true // x != x: the NaN probe idiom
+			}
+			pass.Reportf(be.Pos(), "floateq",
+				"floating-point %s comparison: use math.Float64bits for bitwise identity or an epsilon for closeness (//lint:ignore floateq <reason> if exact equality is intended)",
+				be.Op)
+			return true
+		})
+	}
+}

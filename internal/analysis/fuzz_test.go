@@ -1,0 +1,99 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"unicode"
+	"unicode/utf8"
+)
+
+// FuzzParseIgnoreDirective asserts the suppression parser's contract
+// on arbitrary input: it never panics, a malformed directive is never
+// accepted (ok implies a non-empty whitespace-free rule and a
+// non-empty reason), and acceptance implies the canonical "//lint:ignore"
+// prefix — so no fuzzer-invented comment can silently suppress a
+// finding.
+func FuzzParseIgnoreDirective(f *testing.F) {
+	f.Add("//lint:ignore floateq exact zero is a flag")
+	f.Add("//lint:ignore determinism")
+	f.Add("// lint:ignore floateq spaced out")
+	f.Add("//lint:ignorefloateq glued")
+	f.Add("//lint:ignore  rule  multi word reason")
+	f.Add("/*lint:ignore rule reason*/")
+	f.Add("//nolint:everything")
+	f.Add("//lint:ignore\trule\ttab separated")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, text string) {
+		rule, reason, ok := ParseIgnoreDirective(text)
+		if !ok {
+			if rule != "" || reason != "" {
+				t.Fatalf("rejected input %q returned non-empty parts (%q, %q)", text, rule, reason)
+			}
+			return
+		}
+		if rule == "" || reason == "" {
+			t.Fatalf("accepted %q with empty rule/reason (%q, %q)", text, rule, reason)
+		}
+		if strings.IndexFunc(rule, unicode.IsSpace) >= 0 {
+			t.Fatalf("accepted %q with whitespace in rule %q", text, rule)
+		}
+		if !strings.HasPrefix(text, "//lint:ignore") {
+			t.Fatalf("accepted %q without the canonical prefix", text)
+		}
+	})
+}
+
+// FuzzEmitJSON asserts the -json emitter's contract on arbitrary
+// diagnostic content: it never panics, always produces a valid JSON
+// array (never null), and the decoded array round-trips the input
+// values in the deterministic sorted order.
+func FuzzEmitJSON(f *testing.F) {
+	f.Add("b.go", 3, 1, "floateq", "msg")
+	f.Add("a.go", 7, 2, "determinism", "uniçode \"quotes\" <html> \x00")
+	f.Add("", 0, 0, "", "")
+	f.Add("z.go", -1, -1, "hookcost", strings.Repeat("x", 4096))
+	f.Fuzz(func(t *testing.T, file string, line, col int, rule, msg string) {
+		ds := []Diagnostic{
+			{File: file, Line: line, Col: col, Rule: rule, Message: msg},
+			{File: "zz.go", Line: 1, Col: 1, Rule: "errwrap", Message: "fixed"},
+		}
+		var buf bytes.Buffer
+		if err := EmitJSON(&buf, ds); err != nil {
+			t.Fatalf("EmitJSON error: %v", err)
+		}
+		var back []Diagnostic
+		if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+			t.Fatalf("emitted JSON does not parse: %v\n%s", err, buf.Bytes())
+		}
+		if len(back) != len(ds) {
+			t.Fatalf("round-trip length %d, want %d", len(back), len(ds))
+		}
+		// Bitwise round-trip only holds for valid UTF-8: the encoder
+		// (correctly) coerces stray bytes to U+FFFD.
+		if !utf8.ValidString(file) || !utf8.ValidString(rule) || !utf8.ValidString(msg) {
+			return
+		}
+		sorted := make([]Diagnostic, len(ds))
+		copy(sorted, ds)
+		sortDiagnostics(sorted)
+		for i := range sorted {
+			if back[i] != sorted[i] {
+				t.Fatalf("round-trip[%d] = %+v, want %+v", i, back[i], sorted[i])
+			}
+		}
+	})
+}
+
+// TestEmitJSONEmpty pins the empty-input representation: an array,
+// not null.
+func TestEmitJSONEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := EmitJSON(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.TrimSpace(buf.String()); got != "[]" {
+		t.Fatalf("EmitJSON(nil) = %q, want %q", got, "[]")
+	}
+}

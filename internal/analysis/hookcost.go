@@ -1,0 +1,201 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// AnalyzerHookCost enforces the zero-cost-hook contract (DESIGN.md §9,
+// §11, §12): every call through a Telemetry/Guard/FaultPolicy-style
+// hook — an interface field like mpi.FaultPolicy or tree.BuildHook, or
+// a pointer handle like *telemetry.Counter or *guard.Guard — must
+// either target a verified nil-safe receiver (the method itself begins
+// with the nil-check idiom, see nilsafe.go) or sit behind an explicit
+// nil guard at the call site. Hooks are resolved once and called
+// unconditionally on hot paths, so one unguarded call on a disabled
+// hook is a nil-dereference panic and a broken overhead budget.
+var AnalyzerHookCost = &Analyzer{
+	Name: "hookcost",
+	Doc:  "calls through telemetry/guard/fault hook fields must be nil-guarded or on verified nil-safe receivers",
+	Run:  runHookCost,
+}
+
+// hookInterfaceName matches the repo's hook interface conventions.
+func hookInterfaceName(name string) bool {
+	return name == "FaultPolicy" || name == "BuildHook" ||
+		strings.HasSuffix(name, "Hook") || strings.HasSuffix(name, "Policy")
+}
+
+// hookPointerName matches the nil-disabled pointer handle types.
+func hookPointerName(name string) bool {
+	switch name {
+	case "Counter", "Gauge", "Timer", "Registry", "Guard":
+		return true
+	}
+	return strings.HasSuffix(name, "Hook") || strings.HasSuffix(name, "Policy")
+}
+
+// hookReceiver classifies a receiver type: is it a hook, and if a
+// pointer hook, what is its nil-safe lookup prefix ("pkgpath.Type").
+// The name conventions only apply to types declared inside the module
+// under analysis — a stdlib type that shares a name (time.Timer) is
+// not a hook.
+func hookReceiver(t types.Type, modulePath string) (keyPrefix string, isHook bool) {
+	inModule := func(obj *types.TypeName) bool {
+		return obj.Pkg() != nil &&
+			(obj.Pkg().Path() == modulePath || strings.HasPrefix(obj.Pkg().Path(), modulePath+"/"))
+	}
+	switch tt := t.(type) {
+	case *types.Named:
+		if _, ok := tt.Underlying().(*types.Interface); ok &&
+			hookInterfaceName(tt.Obj().Name()) && inModule(tt.Obj()) {
+			return "", true // interface hooks are never nil-safe
+		}
+	case *types.Pointer:
+		named, ok := tt.Elem().(*types.Named)
+		if !ok || !hookPointerName(named.Obj().Name()) || !inModule(named.Obj()) {
+			return "", false
+		}
+		return named.Obj().Pkg().Path() + "." + named.Obj().Name(), true
+	}
+	return "", false
+}
+
+func runHookCost(pass *Pass) {
+	for _, f := range pass.Files {
+		inspectWithStack(f, func(n ast.Node, stack []ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if pass.Info.Selections[sel] == nil {
+				return true // qualified identifier or conversion, not a method call
+			}
+			tv, ok := pass.Info.Types[sel.X]
+			if !ok {
+				return true
+			}
+			prefix, isHook := hookReceiver(tv.Type, pass.ModulePath)
+			if !isHook {
+				return true
+			}
+			if prefix != "" && pass.NilSafe[prefix+"."+sel.Sel.Name] {
+				return true
+			}
+			recv := types.ExprString(sel.X)
+			if callIsNilGuarded(stack, recv) {
+				return true
+			}
+			what := "hook"
+			if prefix == "" {
+				what = "interface hook"
+			}
+			pass.Reportf(sel.Pos(), "hookcost",
+				"call through %s %s.%s is not nil-guarded and the method is not verified nil-safe (zero-cost-hook contract)",
+				what, recv, sel.Sel.Name)
+			return true
+		})
+	}
+}
+
+// callIsNilGuarded reports whether the call at the top of the stack is
+// dominated by a nil check of the receiver expression recv: either an
+// enclosing "if recv != nil" (or the else branch of "if recv == nil"),
+// or an earlier "if recv == nil { return/continue/break/panic }" early
+// exit in an enclosing block. The search stops at the enclosing
+// function literal/declaration — guards outside a closure do not pin
+// the value at run time.
+func callIsNilGuarded(stack []ast.Node, recv string) bool {
+	for i := len(stack) - 2; i >= 0; i-- {
+		switch node := stack[i].(type) {
+		case *ast.FuncDecl, *ast.FuncLit:
+			return false
+		case *ast.IfStmt:
+			child := stack[i+1]
+			if child == ast.Node(node.Body) && condHasConjunct(node.Cond, recv, token.NEQ) {
+				return true
+			}
+			if node.Else != nil && child == node.Else && condIsDisjunct(node.Cond, recv, token.EQL) {
+				return true
+			}
+		case *ast.BlockStmt:
+			child := stack[i+1]
+			for _, st := range node.List {
+				if st == child {
+					break
+				}
+				ifs, ok := st.(*ast.IfStmt)
+				if !ok || ifs.Init != nil {
+					continue
+				}
+				if condIsDisjunct(ifs.Cond, recv, token.EQL) && blockTerminates(ifs.Body) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// condHasConjunct reports whether cond, split over &&, contains the
+// comparison "recv <op> nil" as a conjunct (sound for the then-branch:
+// a && b implies both).
+func condHasConjunct(cond ast.Expr, recv string, op token.Token) bool {
+	cond = unparen(cond)
+	if be, ok := cond.(*ast.BinaryExpr); ok {
+		if be.Op == token.LAND {
+			return condHasConjunct(be.X, recv, op) || condHasConjunct(be.Y, recv, op)
+		}
+		return isNilCompareOf(be, recv, op)
+	}
+	return false
+}
+
+// condIsDisjunct reports whether cond, split over ||, contains
+// "recv <op> nil" as a disjunct (sound for early exits and else
+// branches: ¬(a || b) implies ¬a).
+func condIsDisjunct(cond ast.Expr, recv string, op token.Token) bool {
+	cond = unparen(cond)
+	if be, ok := cond.(*ast.BinaryExpr); ok {
+		if be.Op == token.LOR {
+			return condIsDisjunct(be.X, recv, op) || condIsDisjunct(be.Y, recv, op)
+		}
+		return isNilCompareOf(be, recv, op)
+	}
+	return false
+}
+
+// isNilCompareOf matches "recv <op> nil" or "nil <op> recv" textually
+// (types.ExprString on the non-nil side).
+func isNilCompareOf(be *ast.BinaryExpr, recv string, op token.Token) bool {
+	if be.Op != op {
+		return false
+	}
+	isNil := func(e ast.Expr) bool {
+		id, ok := unparen(e).(*ast.Ident)
+		return ok && id.Name == "nil"
+	}
+	if isNil(be.Y) {
+		return types.ExprString(unparen(be.X)) == recv
+	}
+	if isNil(be.X) {
+		return types.ExprString(unparen(be.Y)) == recv
+	}
+	return false
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}

@@ -1,0 +1,62 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// ParseIgnoreDirective parses a single comment text (including its
+// leading "//") as a //lint:ignore directive. It returns the rule
+// name, the mandatory free-text reason, and whether the comment is a
+// well-formed directive. Anything malformed — a missing rule, a
+// missing reason, extra colons, a /* */ comment — is not a directive
+// and therefore suppresses nothing; the parser never panics on
+// arbitrary input (see FuzzParseIgnoreDirective).
+func ParseIgnoreDirective(text string) (rule, reason string, ok bool) {
+	body, found := strings.CutPrefix(text, "//")
+	if !found {
+		return "", "", false
+	}
+	// The directive must start immediately after "//" (gofmt keeps
+	// machine-readable comments unspaced, like //go:build).
+	rest, found := strings.CutPrefix(body, "lint:ignore")
+	if !found {
+		return "", "", false
+	}
+	if rest == "" || (rest[0] != ' ' && rest[0] != '\t') {
+		return "", "", false
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 2 {
+		return "", "", false // rule or reason missing
+	}
+	rule = fields[0]
+	reason = strings.TrimSpace(rest[strings.Index(rest, rule)+len(rule):])
+	if rule == "" || reason == "" {
+		return "", "", false
+	}
+	return rule, reason, true
+}
+
+// collectSuppressions indexes every well-formed //lint:ignore
+// directive of the unit. A directive suppresses its rule on the
+// directive's own line (end-of-line form) and on the line directly
+// below it (line-above form).
+func collectSuppressions(fset *token.FileSet, files []*ast.File) map[suppKey]bool {
+	supp := make(map[suppKey]bool)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rule, _, ok := ParseIgnoreDirective(c.Text)
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Slash)
+				supp[suppKey{file: pos.Filename, line: pos.Line, rule: rule}] = true
+				supp[suppKey{file: pos.Filename, line: pos.Line + 1, rule: rule}] = true
+			}
+		}
+	}
+	return supp
+}

@@ -1,0 +1,21 @@
+package analysis
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// EmitJSON writes the findings as one deterministic JSON array
+// (sorted copy; input order does not leak into the output). An empty
+// or nil slice emits the empty array "[]", never "null", so consumers
+// can unconditionally parse an array. The emitter never panics on any
+// diagnostic content (see FuzzEmitJSON): Diagnostic holds only
+// strings and ints, both always marshalable.
+func EmitJSON(w io.Writer, ds []Diagnostic) error {
+	sorted := make([]Diagnostic, len(ds))
+	copy(sorted, ds)
+	sortDiagnostics(sorted)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(sorted)
+}

@@ -1,0 +1,204 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// Nil-safe receiver detection for the hookcost rule. A method on a
+// pointer receiver is *verified* nil-safe — callable through a nil
+// hook field with no guard at the call site — when its body begins
+// with the repo's documented nil-check idiom:
+//
+//	func (c *Counter) Add(n int64) { if c != nil { c.v.Add(n) } }
+//	func (t *Timer) Observe(s float64) { if t == nil { return } ... }
+//
+// or when it only delegates to already-verified nil-safe methods on
+// the same receiver (telemetry.Counter.Inc calling Add). The facts
+// are keyed "pkgpath.Type.Method" and shared module-wide, so a caller
+// package sees the nil-safety of the packages it imports.
+
+// nilSafeKey builds the map key for one (package, type, method).
+func nilSafeKey(pkgPath, typeName, method string) string {
+	return pkgPath + "." + typeName + "." + method
+}
+
+// recordNilSafe harvests nil-safe method facts from the files of one
+// package into the module-wide set, iterating to a fixpoint so
+// single-step delegation chains (Inc → Add) are recognized.
+func recordNilSafe(set map[string]bool, pkgPath string, files []*ast.File) {
+	type method struct {
+		recvType string
+		recvName string
+		decl     *ast.FuncDecl
+	}
+	var methods []method
+	for _, f := range files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || len(fd.Recv.List) != 1 || fd.Body == nil {
+				continue
+			}
+			star, ok := fd.Recv.List[0].Type.(*ast.StarExpr)
+			if !ok {
+				continue // value receivers cannot be called on nil pointers anyway
+			}
+			base := star.X
+			if idx, ok := base.(*ast.IndexExpr); ok { // generic receiver [T]
+				base = idx.X
+			}
+			ident, ok := base.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			recvName := ""
+			if names := fd.Recv.List[0].Names; len(names) == 1 {
+				recvName = names[0].Name
+			}
+			if recvName == "" || recvName == "_" {
+				continue
+			}
+			methods = append(methods, method{recvType: ident.Name, recvName: recvName, decl: fd})
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, m := range methods {
+			key := nilSafeKey(pkgPath, m.recvType, m.decl.Name.Name)
+			if set[key] {
+				continue
+			}
+			if bodyIsNilSafe(m.decl.Body, m.recvName) ||
+				bodyDelegatesNilSafe(set, pkgPath, m.recvType, m.recvName, m.decl.Body) {
+				set[key] = true
+				changed = true
+			}
+		}
+	}
+}
+
+// bodyIsNilSafe scans the method body statement by statement: the
+// method is nil-safe when every receiver dereference is preceded by
+// an "if recv == nil { return ... }" early exit, or confined to
+// "if recv != nil { ... }" wrappers, or absent altogether (methods
+// like "func (r *Registry) Enabled() bool { return r != nil }").
+func bodyIsNilSafe(body *ast.BlockStmt, recv string) bool {
+	for _, st := range body.List {
+		if ifs, ok := st.(*ast.IfStmt); ok && ifs.Init == nil {
+			// if recv == nil [|| ...] { return ... }: sound because
+			// falling past ¬(a || b) implies ¬a.
+			if condIsDisjunct(ifs.Cond, recv, token.EQL) &&
+				blockTerminates(ifs.Body) && !derefsReceiver(ifs.Body, recv) {
+				return true // everything below runs with recv != nil
+			}
+			// if recv != nil [&& ...] { ... }: body may deref freely.
+			if condHasConjunct(ifs.Cond, recv, token.NEQ) && ifs.Else == nil {
+				continue
+			}
+		}
+		if derefsReceiver(st, recv) {
+			return false
+		}
+	}
+	return true
+}
+
+// bodyDelegatesNilSafe reports whether every statement of the body is
+// a call (or return of a call) to an already-verified nil-safe method
+// on the same receiver.
+func bodyDelegatesNilSafe(set map[string]bool, pkgPath, recvType, recv string, body *ast.BlockStmt) bool {
+	if len(body.List) == 0 {
+		return false
+	}
+	callOK := func(e ast.Expr) bool {
+		call, ok := e.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return false
+		}
+		x, ok := sel.X.(*ast.Ident)
+		if !ok || x.Name != recv {
+			return false
+		}
+		for _, arg := range call.Args {
+			if derefsReceiver(arg, recv) {
+				return false
+			}
+		}
+		return set[nilSafeKey(pkgPath, recvType, sel.Sel.Name)]
+	}
+	for _, st := range body.List {
+		switch s := st.(type) {
+		case *ast.ExprStmt:
+			if !callOK(s.X) {
+				return false
+			}
+		case *ast.ReturnStmt:
+			for _, r := range s.Results {
+				if ident, ok := r.(*ast.Ident); ok && ident.Name == recv {
+					continue
+				}
+				if !callOK(r) {
+					return false
+				}
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// derefsReceiver reports whether the node mentions the receiver in
+// any way other than returning/passing it as a bare value would
+// allow. Selector and index uses count as dereferences; a bare
+// identifier does not (returning a nil pointer is fine).
+func derefsReceiver(n ast.Node, recv string) bool {
+	deref := false
+	ast.Inspect(n, func(nd ast.Node) bool {
+		switch e := nd.(type) {
+		case *ast.SelectorExpr:
+			if id, ok := e.X.(*ast.Ident); ok && id.Name == recv {
+				deref = true
+				return false
+			}
+		case *ast.IndexExpr:
+			if id, ok := e.X.(*ast.Ident); ok && id.Name == recv {
+				deref = true
+				return false
+			}
+		case *ast.StarExpr:
+			if id, ok := e.X.(*ast.Ident); ok && id.Name == recv {
+				deref = true
+				return false
+			}
+		}
+		return true
+	})
+	return deref
+}
+
+// blockTerminates reports whether the block's last statement leaves
+// the enclosing scope: return, branch (break/continue/goto), or a
+// panic call.
+func blockTerminates(b *ast.BlockStmt) bool {
+	if len(b.List) == 0 {
+		return false
+	}
+	switch last := b.List[len(b.List)-1].(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.BranchStmt:
+		return last.Tok == token.BREAK || last.Tok == token.CONTINUE || last.Tok == token.GOTO
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}

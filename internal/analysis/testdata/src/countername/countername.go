@@ -1,0 +1,32 @@
+// Package countername is a golden-test fixture for the telemetry
+// naming rule: constant metric names passed to Registry.Counter/
+// Gauge/Timer must be lowercase dotted domain.metric paths.
+package countername
+
+// Registry mirrors the telemetry façade's handle factory.
+type Registry struct{}
+
+// Counter, Gauge and Timer are the audited factory methods.
+func (r *Registry) Counter(name string) int { return len(name) }
+func (r *Registry) Gauge(name string) int   { return len(name) }
+func (r *Registry) Timer(name string) int   { return len(name) }
+
+// Use exercises the rule.
+func Use(r *Registry) int {
+	n := 0
+	n += r.Counter("hot.mac_accepts")
+	n += r.Gauge("core.evals.level0")
+	n += r.Counter("MacAccepts")   // want `countername: telemetry metric name "MacAccepts" does not match`
+	n += r.Timer("traverse")       // want `countername: telemetry metric name "traverse" does not match`
+	n += r.Gauge("hot.Rejects")    // want `countername: telemetry metric name "hot\.Rejects" does not match`
+	n += r.Counter("hot." + dyn()) // dynamic names are out of scope
+	return n
+}
+
+func dyn() string { return "x" }
+
+// Suppressed keeps a legacy name under a documented directive.
+func Suppressed(r *Registry) int {
+	//lint:ignore countername legacy dashboard key kept for continuity with archived runs
+	return r.Counter("LegacySeries")
+}

@@ -1,0 +1,22 @@
+// Package telemetry is a golden-test fixture for the determinism
+// allowlist: the package name is not on the numeric list, so the
+// map-range patterns that are findings in package tree are silent
+// here. The file must produce zero diagnostics.
+package telemetry
+
+import "time"
+
+// Snapshot ranges over a map and appends — fine in an observability
+// package, where output order is sorted by the emitter.
+func Snapshot(counters map[string]int64) []string {
+	var names []string
+	for name := range counters {
+		names = append(names, name)
+	}
+	return names
+}
+
+// Stamp reads the wall clock — telemetry is allowed to.
+func Stamp() time.Time {
+	return time.Now()
+}

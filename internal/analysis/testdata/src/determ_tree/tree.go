@@ -1,0 +1,68 @@
+// Package tree is a golden-test fixture: its name puts it on the
+// determinism analyzer's numeric-package list, so the order-dependent
+// patterns below must be reported and the order-independent ones must
+// not be.
+package tree
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Collect exercises the map-range rules.
+func Collect(m map[string]float64) ([]string, float64) {
+	var keys []string
+	sum := 0.0
+	for k, v := range m {
+		keys = append(keys, k) // want `determinism: append inside range over map`
+		sum += v               // want `determinism: floating-point accumulation inside range over map`
+	}
+	sort.Strings(keys)
+	return keys, sum
+}
+
+// PerKey accumulates into a slot indexed by the range key: each slot
+// sees exactly one write, so iteration order cannot matter.
+func PerKey(m map[int]float64, out map[int]float64) {
+	for k, v := range m {
+		out[k] += v
+	}
+}
+
+// Suppressed carries a documented ignore directive on an otherwise
+// order-dependent accumulation.
+func Suppressed(m map[string]float64) float64 {
+	s := 0.0
+	for _, v := range m {
+		//lint:ignore determinism rounding noise is acceptable in this debug estimate
+		s += v
+	}
+	return s
+}
+
+// Malformed directives (no reason) must not suppress anything.
+func Malformed(m map[string]float64) float64 {
+	s := 0.0
+	for _, v := range m {
+		//lint:ignore determinism
+		s += v // want `determinism: floating-point accumulation inside range over map`
+	}
+	return s
+}
+
+// Draw uses the shared process-wide source.
+func Draw() float64 {
+	return rand.Float64() // want `determinism: global math/rand.Float64 draws from the shared process-wide source`
+}
+
+// DrawSeeded builds its own deterministic stream.
+func DrawSeeded(seed int64) float64 {
+	r := rand.New(rand.NewSource(seed))
+	return r.Float64()
+}
+
+// Stamp reads the wall clock.
+func Stamp() int64 {
+	return time.Now().UnixNano() // want `determinism: time.Now in a numeric package`
+}

@@ -1,0 +1,44 @@
+// Package errwrap is a golden-test fixture for the error-contract
+// rule: sentinel comparisons must go through errors.Is and fmt.Errorf
+// must wrap with %w when it carries an error.
+package errwrap
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrBoom is a package-level sentinel in the repo's Err* convention.
+var ErrBoom = errors.New("boom")
+
+// Classify exercises the comparison rule.
+func Classify(err error) int {
+	if err == ErrBoom { // want `errwrap: sentinel ErrBoom compared with ==`
+		return 1
+	}
+	if ErrBoom != err { // want `errwrap: sentinel ErrBoom compared with !=`
+		return 2
+	}
+	if errors.Is(err, ErrBoom) {
+		return 3
+	}
+	if err == nil { // nil check is not a sentinel comparison
+		return 4
+	}
+	return 0
+}
+
+// Wrap exercises the fmt.Errorf rule.
+func Wrap(err error) []error {
+	return []error{
+		fmt.Errorf("step failed: %v", err), // want `errwrap: fmt\.Errorf formats an error without %w`
+		fmt.Errorf("step failed: %w", err),
+		fmt.Errorf("no error involved: %d", 42),
+	}
+}
+
+// Suppressed documents a deliberate identity comparison.
+func Suppressed(err error) bool {
+	//lint:ignore errwrap identity check against the exact sentinel instance is intended here
+	return err == ErrBoom
+}

@@ -1,0 +1,38 @@
+// Package floateq is a golden-test fixture for the float-comparison
+// rule: == and != on floating-point operands are findings unless the
+// comparison is a constant fold, the x != x NaN probe, or carries a
+// documented ignore directive.
+package floateq
+
+import "math"
+
+// Eq is the classic mistake.
+func Eq(a, b float64) bool {
+	return a == b // want `floateq: floating-point == comparison`
+}
+
+// Ne on float32 is just as wrong.
+func Ne(a, b float32) bool {
+	return a != b // want `floateq: floating-point != comparison`
+}
+
+// IsNaN uses the self-comparison probe: exempt.
+func IsNaN(x float64) bool {
+	return x != x
+}
+
+// BitwiseEq is the sanctioned identity comparison: exempt.
+func BitwiseEq(a, b float64) bool {
+	return math.Float64bits(a) == math.Float64bits(b)
+}
+
+// ConstFold is decided at compile time: exempt.
+func ConstFold() bool {
+	return 0.1+0.2 == 0.3
+}
+
+// Suppressed documents a deliberate exact comparison.
+func Suppressed(w float64) bool {
+	//lint:ignore floateq exact zero flags the unset default, never a computed value
+	return w == 0
+}

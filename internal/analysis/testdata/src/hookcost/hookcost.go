@@ -1,0 +1,59 @@
+// Package hookcost is a golden-test fixture for the zero-cost-hook
+// rule: calls through hook-shaped fields must be nil-guarded at the
+// call site or target a method the analyzer verified nil-safe.
+package hookcost
+
+// FaultPolicy mirrors the repo's hook interface convention; interface
+// hooks can never be nil-safe, so every call needs a call-site guard.
+type FaultPolicy interface {
+	Message(n int)
+}
+
+// Counter mirrors the nil-disabled pointer handle convention.
+type Counter struct{ v int64 }
+
+// Add begins with the early-exit nil check: verified nil-safe.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v += n
+}
+
+// Inc delegates to a nil-safe method: transitively nil-safe.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Reset dereferences the receiver unguarded: NOT nil-safe.
+func (c *Counter) Reset() { c.v = 0 }
+
+type world struct {
+	fault FaultPolicy
+	tick  *Counter
+}
+
+func (w *world) step() {
+	w.tick.Add(1)      // nil-safe method, no guard needed
+	w.tick.Inc()       // transitively nil-safe
+	w.tick.Reset()     // want `hookcost: call through hook w\.tick\.Reset is not nil-guarded`
+	w.fault.Message(1) // want `hookcost: call through interface hook w\.fault\.Message is not nil-guarded`
+	if w.fault != nil {
+		w.fault.Message(2) // guarded wrapper
+	}
+	if w.tick == nil {
+		return
+	}
+	w.tick.Reset() // dominated by the early-exit nil check above
+}
+
+func (w *world) stepSuppressed() {
+	//lint:ignore hookcost the policy is set unconditionally by the only constructor
+	w.fault.Message(3)
+}
+
+func (w *world) stepElse() {
+	if w.tick == nil {
+		w.tick = &Counter{}
+	} else {
+		w.tick.Reset() // else-branch of == nil: receiver proven non-nil
+	}
+}

@@ -172,6 +172,7 @@ func (p *Plan) Transient() bool { return p.CrashRank < 0 }
 
 // Empty reports whether the plan injects nothing at all.
 func (p *Plan) Empty() bool {
+	//lint:ignore floateq exact zero means the user never set the probability; any nonzero value enables the path
 	return p.Transient() && p.DropProb == 0 && p.DelayProb == 0 && p.CorruptProb == 0
 }
 

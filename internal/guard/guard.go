@@ -238,8 +238,16 @@ func New(pol Policy, rank int, reg *telemetry.Registry) *Guard {
 	return g
 }
 
-// Policy returns the (zero-filled) policy the guard was built with.
-func (g *Guard) Policy() Policy { return g.pol }
+// Policy returns the (zero-filled) policy the guard was built with. A
+// nil guard yields the zero policy, whose accessors return the
+// package defaults — callers on the resilient block loop read ladder
+// bounds through here without first checking for a disabled guard.
+func (g *Guard) Policy() Policy {
+	if g == nil {
+		return Policy{}
+	}
+	return g.pol
+}
 
 func (g *Guard) violation(monitor string, epoch int, format string, args ...any) *Violation {
 	return &Violation{
@@ -428,8 +436,12 @@ func (g *Guard) RecordAbort() {
 	g.pb.aborts.Inc()
 }
 
-// scanState is the NaN/Inf and magnitude detector.
+// scanState is the NaN/Inf and magnitude detector. A nil guard scans
+// nothing and reports no violation.
 func (g *Guard) scanState(u []float64, where string, epoch int) *Violation {
+	if g == nil {
+		return nil
+	}
 	maxAbs := g.pol.maxAbs()
 	for i, x := range u {
 		if math.IsNaN(x) || math.IsInf(x, 0) {

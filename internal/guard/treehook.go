@@ -27,6 +27,7 @@ func wordsPerNode(disc tree.Discipline) int {
 // and not counted: it is arithmetically harmless by IEEE semantics.
 func flipWord(p *float64, bit uint) bool {
 	nv := fault.FlipBit(*p, bit)
+	//lint:ignore floateq deliberate IEEE equality: a +0/−0 sign flip must compare equal so it is reverted, matching what the float-compare detector can see
 	if nv == *p {
 		return false
 	}

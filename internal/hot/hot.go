@@ -649,6 +649,7 @@ func (rt *evalRT) buildTop() {
 			// impossible (branch cells are disjoint); guard anyway.
 			continue
 		}
+		//lint:ignore determinism collection order is discarded by the sort on the next line
 		shared = append(shared, pkey)
 	}
 	sort.Slice(shared, func(a, b int) bool { return shared[a] > shared[b] })
@@ -659,6 +660,7 @@ func (rt *evalRT) buildTop() {
 		g.nd.Size = rt.dom.Size / float64(uint64(1)<<level)
 		g.nd.Center = rt.dom.CellCenter(prefix, level)
 		for child := range childSet[pkey] {
+			//lint:ignore determinism collection order is discarded by the sort on the next line
 			g.children = append(g.children, child)
 		}
 		sort.Slice(g.children, func(a, b int) bool { return g.children[a] < g.children[b] })

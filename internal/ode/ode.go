@@ -77,6 +77,7 @@ func MaxDiff(a, b []float64) float64 {
 func RelMaxDiff(a, b []float64) float64 {
 	d := MaxDiff(a, b)
 	n := MaxNorm(b)
+	//lint:ignore floateq exact zero norm guards the division; any nonzero norm is a valid scale
 	if n == 0 {
 		return d
 	}

@@ -122,10 +122,13 @@ func (t *Tree) CheckMoments() error {
 // momentsEqual compares the moment payload of two nodes bitwise (via
 // float equality, so NaN never matches).
 func momentsEqual(a, b *Node) bool {
+	//lint:ignore floateq deliberate float equality: NaN must never match so corrupted moments are detected
 	return a.CircSum == b.CircSum && a.AbsCirc == b.AbsCirc &&
 		a.Centroid == b.Centroid && a.Dipole == b.Dipole &&
+		//lint:ignore floateq deliberate float equality: NaN must never match so corrupted moments are detected
 		a.Charge == b.Charge && a.AbsCharge == b.AbsCharge &&
 		a.DipoleQ == b.DipoleQ && a.QuadQ == b.QuadQ &&
+		//lint:ignore floateq deliberate float equality: NaN must never match so corrupted moments are detected
 		a.BMax == b.BMax
 }
 
