@@ -36,6 +36,21 @@ go test -race ./...
 # drivers compiling and running.
 go test -bench . -benchtime 1x -run '^$' ./...
 
+# Layout lane: the façade suite under both particle layouts (the
+# -layout flag pins TestLayoutLane's end-to-end bitwise comparison to
+# the named layout), plus an allocation smoke over the bench_test.go
+# layout benchmarks — the SoA hot path must be allocation-free in
+# steady state (0 allocs/op, averaged over the benchtime iterations).
+go test -count=1 -layout=aos .
+go test -count=1 -layout=soa .
+alloc_out=$(mktemp)
+go test -bench 'BenchmarkLayoutEval' -benchtime 20x -benchmem -run '^$' . | tee "$alloc_out"
+grep -E 'BenchmarkLayoutEvalSoA.*[^0-9]0 allocs/op' "$alloc_out" >/dev/null || {
+  echo "SoA hot path is not allocation-free in steady state" >&2
+  exit 1
+}
+rm -f "$alloc_out"
+
 # Chaos lane: the fault-injection and resilience suites once more under
 # the race detector, -count=1 so cached passes don't mask flakiness in
 # the recovery protocol. Time-bounded by -timeout rather than test count.

@@ -39,7 +39,7 @@ func main() {
 	log.SetPrefix("experiments: ")
 	var (
 		fig        = flag.String("fig", "", "figure to regenerate: 1, 5, 7a, 7b, 8 (empty = all)")
-		exp        = flag.String("exp", "", "extra experiment: theta-ratio, residuals, speedup-model, ablations, phases, bench-pr2, chaos")
+		exp        = flag.String("exp", "", "extra experiment: theta-ratio, residuals, speedup-model, ablations, phases, bench-pr2, bench-pr6, chaos")
 		faultSeed  = flag.Int64("faultseed", 42, "fault-plan seed of the chaos experiment")
 		faultPlan  = flag.String("faultplan", "", "override the chaos experiment's crash plan (fault.Parse spec)")
 		chaosOut   = flag.String("chaosout", "BENCH_PR3.json", "output path of the chaos record")
@@ -50,6 +50,7 @@ func main() {
 		stealGrain = flag.Int("stealgrain", 0, "work-stealing chunk size in leaf groups (0 = automatic)")
 		threads    = flag.Int("threads", 0, "traversal worker goroutines per rank (>1 = hybrid scheduler; phases experiment)")
 		benchOut   = flag.String("benchout", "BENCH_PR2.json", "output path of the bench-pr2 record")
+		bench6Out  = flag.String("bench6-out", "BENCH_PR6.json", "output path of the bench-pr6 record")
 		csvDir     = flag.String("csv", "", "directory for CSV output")
 		jsonDir    = flag.String("json", "", "directory for telemetry snapshot JSON output")
 		paper      = flag.Bool("paper", false, "use the paper's exact sizes where implemented (very slow)")
@@ -155,6 +156,18 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("wrote %s\n\n", *benchOut)
+	}
+	// bench-pr6 is opt-in only: it races the struct-of-arrays hot path
+	// against the array-of-structs reference on the clustered vortex
+	// sheet (per-phase breakdowns) and records BENCH_PR6.json, reading
+	// BENCH_PR2.json for the cross-PR throughput baseline if present.
+	if strings.EqualFold(*exp, "bench-pr6") {
+		res, tb := experiments.BenchPR6(experiments.DefaultBenchPR6(), *benchOut)
+		emit("bench_pr6", tb)
+		if err := res.WriteJSON(*bench6Out); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n\n", *bench6Out)
 	}
 	// chaos is opt-in only: it runs the space-time solver through a
 	// seeded fault matrix (clean, transient chaos, rank crash) on the

@@ -166,6 +166,11 @@ type Config struct {
 	// StealGrain tunes the work-stealing chunk size (leaf groups) of
 	// the hybrid list traversal; ≤0 = automatic.
 	StealGrain int
+	// Layout selects the evaluation storage of every level's tree
+	// solver: particle.LayoutSoA (the Default) runs the batched
+	// struct-of-arrays kernels, particle.LayoutAoS the reference path.
+	// Results are bitwise equal either way (DESIGN.md §14).
+	Layout particle.Layout
 	// Model, when non-nil, drives the virtual clocks.
 	Model *machine.CostModel
 	// Tel, when non-nil, collects this world rank's telemetry (tree
@@ -199,6 +204,7 @@ func Default(pt, ps int) Config {
 		Iterations: 2, CoarseSweeps: 2,
 		LeafCap: 8,
 		Dipole:  true,
+		Layout:  particle.LayoutSoA,
 	}
 }
 
@@ -258,7 +264,8 @@ func RunSpaceTime(world *mpi.Comm, cfg Config, full *particle.System, t0, t1 flo
 			Sm: cfg.Sm, Scheme: cfg.Scheme, Theta: l.Theta,
 			LeafCap: cfg.LeafCap, Dipole: cfg.Dipole, Model: cfg.Model, Threads: cfg.Threads,
 			Traversal: cfg.Traversal, StealGrain: cfg.StealGrain,
-			Tel: cfg.Tel,
+			Layout: cfg.Layout,
+			Tel:    cfg.Tel,
 		}
 		if grd != nil {
 			hcfg.Hook = grd
@@ -310,7 +317,8 @@ func RunSpaceSerialSDC(spaceComm *mpi.Comm, cfg Config, local *particle.System,
 		Sm: cfg.Sm, Scheme: cfg.Scheme, Theta: cfg.ThetaFine,
 		LeafCap: cfg.LeafCap, Dipole: cfg.Dipole, Model: cfg.Model, Threads: cfg.Threads,
 		Traversal: cfg.Traversal, StealGrain: cfg.StealGrain,
-		Tel: cfg.Tel,
+		Layout: cfg.Layout,
+		Tel:    cfg.Tel,
 	})
 	sys := NewDistVortexSystem(local, solver)
 	sys.Instrument(cfg.Tel, 0)

@@ -17,18 +17,27 @@ import (
 // Solver is a direct-summation evaluator. The zero value is not usable;
 // construct with New.
 type Solver struct {
+	// Layout selects the evaluation storage: LayoutSoA (the New
+	// default) gathers identity-ordered lanes once per evaluation and
+	// runs the batched kernels; LayoutAoS is the reference loop. Both
+	// sum sources in index order, so they are bitwise equal.
+	Layout particle.Layout
+
 	sm      kernel.Smoothing
 	scheme  kernel.Scheme
 	workers int
 
 	evals        atomic.Int64
 	interactions atomic.Int64
+
+	// lanes is the SoA gather arena, reused across evaluations.
+	lanes particle.SoA
 }
 
 // New returns a direct solver using the given smoothing kernel and
 // stretching scheme. workers ≤ 0 selects GOMAXPROCS.
 func New(sm kernel.Smoothing, scheme kernel.Scheme, workers int) *Solver {
-	return &Solver{sm: sm, scheme: scheme, workers: workers}
+	return &Solver{sm: sm, scheme: scheme, workers: workers, Layout: particle.LayoutSoA}
 }
 
 // Name implements field.Evaluator.
@@ -55,6 +64,26 @@ func (s *Solver) Eval(sys *particle.System, vel, stretch []vec.Vec3) {
 	pw := kernel.Pairwise{Sm: s.sm, Sigma: sys.Sigma}
 	ps := sys.Particles
 
+	if s.Layout == particle.LayoutSoA {
+		l := &s.lanes
+		l.GatherVortex(sys, nil) // identity order: lane p = particle p
+		b := kernel.NewVortexBatch(pw)
+		s.alignedRange(n, func(lo, hi int) {
+			for q := lo; q < hi; q++ {
+				var acc kernel.VortexAcc
+				b.AccumGradRange(&acc, l.X[q], l.Y[q], l.Z[q],
+					l.X, l.Y, l.Z, l.AX, l.AY, l.AZ, q)
+				vel[q] = vec.V3(acc.UX, acc.UY, acc.UZ)
+				grad := vec.Mat3{
+					{acc.G[0], acc.G[1], acc.G[2]},
+					{acc.G[3], acc.G[4], acc.G[5]},
+					{acc.G[6], acc.G[7], acc.G[8]},
+				}
+				stretch[q] = s.scheme.Stretch(grad, ps[q].Alpha)
+			}
+		})
+		return
+	}
 	s.parallelRange(n, func(lo, hi int) {
 		for q := lo; q < hi; q++ {
 			var u vec.Vec3
@@ -85,6 +114,20 @@ func (s *Solver) Velocities(sys *particle.System, vel []vec.Vec3) {
 	s.interactions.Add(int64(n) * int64(n-1))
 	pw := kernel.Pairwise{Sm: s.sm, Sigma: sys.Sigma}
 	ps := sys.Particles
+	if s.Layout == particle.LayoutSoA {
+		l := &s.lanes
+		l.GatherVortex(sys, nil)
+		b := kernel.NewVortexBatch(pw)
+		s.alignedRange(n, func(lo, hi int) {
+			for q := lo; q < hi; q++ {
+				var acc kernel.VortexAcc
+				b.AccumVelRange(&acc, l.X[q], l.Y[q], l.Z[q],
+					l.X, l.Y, l.Z, l.AX, l.AY, l.AZ, q)
+				vel[q] = vec.V3(acc.UX, acc.UY, acc.UZ)
+			}
+		})
+		return
+	}
 	s.parallelRange(n, func(lo, hi int) {
 		for q := lo; q < hi; q++ {
 			var u vec.Vec3
@@ -110,6 +153,20 @@ func (s *Solver) Coulomb(sys *particle.System, eps float64, pot []float64, f []v
 	s.evals.Add(1)
 	s.interactions.Add(int64(n) * int64(n-1))
 	ps := sys.Particles
+	if s.Layout == particle.LayoutSoA {
+		l := &s.lanes
+		l.GatherCoulomb(sys, nil)
+		s.alignedRange(n, func(lo, hi int) {
+			for q := lo; q < hi; q++ {
+				var acc kernel.CoulombAcc
+				kernel.AccumCoulombRange(&acc, l.X[q], l.Y[q], l.Z[q], eps,
+					l.X, l.Y, l.Z, l.Q, q)
+				pot[q] = acc.Phi
+				f[q] = vec.V3(acc.EX, acc.EY, acc.EZ)
+			}
+		})
+		return
+	}
 	s.parallelRange(n, func(lo, hi int) {
 		for q := lo; q < hi; q++ {
 			phi := 0.0
@@ -135,6 +192,13 @@ func (s *Solver) Coulomb(sys *particle.System, eps float64, pot []float64, f []v
 // schedule.
 func (s *Solver) parallelRange(n int, fn func(lo, hi int)) {
 	sched.Run(s.workers, n, 0, func(_, lo, hi int) { fn(lo, hi) })
+}
+
+// alignedRange is parallelRange with claim and steal boundaries on
+// BatchWidth multiples, so every worker's SoA inner loops start on a
+// full batch block.
+func (s *Solver) alignedRange(n int, fn func(lo, hi int)) {
+	sched.RunAligned(s.workers, n, 0, kernel.BatchWidth, func(_, lo, hi int) { fn(lo, hi) })
 }
 
 var _ field.Evaluator = (*Solver)(nil)

@@ -1,0 +1,232 @@
+package experiments
+
+import (
+	"encoding/json"
+	"os"
+	"time"
+
+	"repro/internal/kernel"
+	"repro/internal/particle"
+	"repro/internal/tree"
+	"repro/internal/vec"
+)
+
+// BenchPR6Config parameterizes the particle-layout benchmark on the
+// clustered vortex sheet: the Morton-gathered struct-of-arrays hot
+// path (batched kernels, arena reuse) against the array-of-structs
+// reference, under the same list evaluator and scheduler.
+type BenchPR6Config struct {
+	N        int     // particles (half sheet, half ring)
+	Theta    float64 // MAC parameter
+	LeafCap  int     // leaf bucket size
+	GroupCap int     // target-group size of the list evaluator (≤0: auto)
+	Workers  int     // worker count of the wall-clock runs
+	Reps     int     // repetitions; best time wins
+}
+
+// DefaultBenchPR6 returns the configuration recorded in
+// BENCH_PR6.json — the same clustered system, θ and worker count as
+// the PR2 scheduling benchmark, so interactions/sec is directly
+// comparable against BENCH_PR2's list evaluator numbers.
+func DefaultBenchPR6() BenchPR6Config {
+	return BenchPR6Config{N: 20000, Theta: 0.3, LeafCap: 8, Workers: 8, Reps: 3}
+}
+
+// LayoutPhases is the serialized per-phase breakdown of one layout's
+// evaluation pipeline, best-of-reps per phase. The build phases come
+// from the arena's own stamps; the list/evaluation split is measured
+// by timing the two halves of every group's work separately.
+type LayoutPhases struct {
+	// Tree build phases (ns): Morton keys, radix sort, node
+	// construction + moments, SoA lane gather (0 for AoS).
+	BuildKeysNs float64 `json:"build_keys_ns"`
+	BuildSortNs float64 `json:"build_sort_ns"`
+	BuildNodeNs float64 `json:"build_nodes_ns"`
+	GatherNs    float64 `json:"gather_ns"`
+	// Interaction-list construction and list evaluation, summed over
+	// all target groups (ns).
+	ListBuildNs float64 `json:"list_build_ns"`
+	EvalNs      float64 `json:"eval_ns"`
+	// Full Solver.Eval wall time (ns/op) and the interaction
+	// throughput of the best repetition at the configured workers.
+	TotalNsPerOp       float64 `json:"total_ns_per_op"`
+	InteractionsPerSec float64 `json:"interactions_per_sec"`
+}
+
+// BenchPR6Result is the machine-readable benchmark record
+// (BENCH_PR6.json): before/after per-phase breakdowns and throughput
+// of the AoS reference vs the SoA hot path, plus the BENCH_PR2
+// baseline throughput when that record is present on disk.
+type BenchPR6Result struct {
+	N        int     `json:"n"`
+	Theta    float64 `json:"theta"`
+	LeafCap  int     `json:"leaf_cap"`
+	GroupCap int     `json:"group_cap"`
+	Workers  int     `json:"workers"`
+	Reps     int     `json:"reps"`
+	Groups   int     `json:"groups"`
+
+	AoS LayoutPhases `json:"aos"`
+	SoA LayoutPhases `json:"soa"`
+
+	// Speedup is SoA over AoS on the full-Eval wall time of this run.
+	Speedup float64 `json:"speedup"`
+	// BaselinePR2InteractionsPerSec is list_interactions_per_sec from
+	// BENCH_PR2.json (0 when the record is absent), and SpeedupVsPR2
+	// the SoA throughput over it — the cross-PR acceptance ratio.
+	BaselinePR2InteractionsPerSec float64 `json:"baseline_pr2_interactions_per_sec"`
+	SpeedupVsPR2                  float64 `json:"speedup_vs_pr2"`
+
+	Measurement string `json:"measurement"`
+}
+
+// benchPR6Layout measures one layout: full-Eval wall time and
+// throughput at cfg.Workers (best of reps), then the serialized
+// per-phase breakdown.
+func benchPR6Layout(cfg BenchPR6Config, sys *particle.System, layout particle.Layout) (LayoutPhases, int) {
+	var ph LayoutPhases
+	n := sys.N()
+	vel := make([]vec.Vec3, n)
+	str := make([]vec.Vec3, n)
+
+	s := tree.NewSolver(kernel.Algebraic6(), kernel.Transpose, cfg.Theta)
+	s.LeafCap = cfg.LeafCap
+	s.GroupCap = cfg.GroupCap
+	s.Workers = cfg.Workers
+	s.Layout = layout
+	var best time.Duration
+	var inter int64
+	for r := 0; r < cfg.Reps; r++ {
+		before := s.Stats().Interactions
+		t0 := time.Now()
+		s.Eval(sys, vel, str)
+		el := time.Since(t0)
+		if r == 0 || el < best {
+			best = el
+			inter = s.Stats().Interactions - before
+		}
+	}
+	ph.TotalNsPerOp = float64(best.Nanoseconds())
+	ph.InteractionsPerSec = float64(inter) / best.Seconds()
+
+	// Serialized phase breakdown on a warm arena.
+	var a tree.Arena
+	bc := tree.BuildConfig{LeafCap: cfg.LeafCap, Discipline: tree.Vortex, Layout: layout}
+	t := tree.BuildInto(&a, sys, bc)
+	pw := kernel.Pairwise{Sm: kernel.Algebraic6(), Sigma: sys.Sigma}
+	gcap := cfg.GroupCap
+	if gcap <= 0 {
+		gcap = cfg.LeafCap
+		if gcap < 8 {
+			gcap = 8
+		}
+	}
+	groups := t.Groups(gcap)
+	list := tree.GetInteractionList()
+	for r := 0; r < cfg.Reps; r++ {
+		t = tree.BuildInto(&a, sys, bc)
+		bp := a.Phases
+		var listNs, evalNs int64
+		for _, g := range groups {
+			nd := &t.Nodes[g]
+			t0 := time.Now()
+			list.Reset()
+			gc, ge := t.GroupBounds(nd.First, nd.Count)
+			t.AppendInteractionList(list, tree.MACBarnesHut, cfg.Theta, int32(t.Root), gc, ge)
+			t1 := time.Now()
+			for i := nd.First; i < nd.First+nd.Count; i++ {
+				orig := t.Order[i]
+				res := t.EvalVortexList(list, tree.MACBarnesHut, cfg.Theta, sys.Particles[orig].Pos, orig, pw, true)
+				vel[orig] = res.U
+			}
+			listNs += t1.Sub(t0).Nanoseconds()
+			evalNs += time.Since(t1).Nanoseconds()
+		}
+		if r == 0 || bp.KeysSec*1e9 < ph.BuildKeysNs {
+			ph.BuildKeysNs = bp.KeysSec * 1e9
+		}
+		if r == 0 || bp.SortSec*1e9 < ph.BuildSortNs {
+			ph.BuildSortNs = bp.SortSec * 1e9
+		}
+		if r == 0 || bp.NodesSec*1e9 < ph.BuildNodeNs {
+			ph.BuildNodeNs = bp.NodesSec * 1e9
+		}
+		if r == 0 || bp.GatherSec*1e9 < ph.GatherNs {
+			ph.GatherNs = bp.GatherSec * 1e9
+		}
+		if r == 0 || float64(listNs) < ph.ListBuildNs {
+			ph.ListBuildNs = float64(listNs)
+		}
+		if r == 0 || float64(evalNs) < ph.EvalNs {
+			ph.EvalNs = float64(evalNs)
+		}
+	}
+	tree.PutInteractionList(list)
+	return ph, len(groups)
+}
+
+// BenchPR6 runs the layout benchmark and renders it as a table.
+// baselinePath, when non-empty and readable, supplies the BENCH_PR2
+// list-evaluator throughput for the cross-PR speedup.
+func BenchPR6(cfg BenchPR6Config, baselinePath string) (BenchPR6Result, *Table) {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 8
+	}
+	if cfg.Reps <= 0 {
+		cfg.Reps = 3
+	}
+	sys := particle.ClusteredVortexSheet(cfg.N)
+	aos, groups := benchPR6Layout(cfg, sys, particle.LayoutAoS)
+	soa, _ := benchPR6Layout(cfg, sys, particle.LayoutSoA)
+
+	res := BenchPR6Result{
+		N: cfg.N, Theta: cfg.Theta, LeafCap: cfg.LeafCap, GroupCap: cfg.GroupCap,
+		Workers: cfg.Workers, Reps: cfg.Reps, Groups: groups,
+		AoS:     aos,
+		SoA:     soa,
+		Speedup: aos.TotalNsPerOp / soa.TotalNsPerOp,
+		Measurement: "full-Eval wall times and interactions/sec at the stated worker count, best of reps; " +
+			"per-phase breakdowns measured serialized: build phases from the arena stamps " +
+			"(Morton keys, radix sort, node moments, lane gather), list build and list " +
+			"evaluation timed separately per target group and summed",
+	}
+	if baselinePath != "" {
+		if data, err := os.ReadFile(baselinePath); err == nil {
+			var base struct {
+				ListInteractionsPerSec float64 `json:"list_interactions_per_sec"`
+			}
+			if json.Unmarshal(data, &base) == nil && base.ListInteractionsPerSec > 0 {
+				res.BaselinePR2InteractionsPerSec = base.ListInteractionsPerSec
+				res.SpeedupVsPR2 = soa.InteractionsPerSec / base.ListInteractionsPerSec
+			}
+		}
+	}
+
+	tb := &Table{
+		Title:  "PR6 particle-layout benchmark — clustered vortex sheet",
+		Header: []string{"phase (serialized ns)", "aos", "soa"},
+	}
+	tb.AddRow("build: morton keys", f("%.3e", aos.BuildKeysNs), f("%.3e", soa.BuildKeysNs))
+	tb.AddRow("build: radix sort", f("%.3e", aos.BuildSortNs), f("%.3e", soa.BuildSortNs))
+	tb.AddRow("build: nodes+moments", f("%.3e", aos.BuildNodeNs), f("%.3e", soa.BuildNodeNs))
+	tb.AddRow("build: lane gather", f("%.3e", aos.GatherNs), f("%.3e", soa.GatherNs))
+	tb.AddRow("list build", f("%.3e", aos.ListBuildNs), f("%.3e", soa.ListBuildNs))
+	tb.AddRow("list evaluation", f("%.3e", aos.EvalNs), f("%.3e", soa.EvalNs))
+	tb.AddRow("full Eval ns/op", f("%.3e", aos.TotalNsPerOp), f("%.3e", soa.TotalNsPerOp))
+	tb.AddRow("interactions/s", f("%.3e", aos.InteractionsPerSec), f("%.3e", soa.InteractionsPerSec))
+	tb.AddNote("N=%d θ=%.2f leafcap=%d groups=%d workers=%d reps=%d", cfg.N, cfg.Theta, cfg.LeafCap, groups, cfg.Workers, cfg.Reps)
+	tb.AddNote("soa/aos full-Eval speedup %.2fx", res.Speedup)
+	if res.BaselinePR2InteractionsPerSec > 0 {
+		tb.AddNote("vs BENCH_PR2 list baseline %.3e interactions/s: %.2fx", res.BaselinePR2InteractionsPerSec, res.SpeedupVsPR2)
+	}
+	return res, tb
+}
+
+// WriteJSON writes the benchmark record to path.
+func (r BenchPR6Result) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

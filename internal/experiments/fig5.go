@@ -79,7 +79,8 @@ func Fig5Executed(cfg Fig5Config) ([]Fig5ExecPoint, *Table, *Table) {
 			s := hot.New(c, hot.Config{
 				Sm: kernel.Algebraic2(), Scheme: kernel.Transpose,
 				Theta: cfg.Theta, Eps: cfg.Eps, Model: &model,
-				Tel: reg,
+				Layout: particle.LayoutSoA,
+				Tel:    reg,
 			})
 			pot := make([]float64, local.N())
 			ef := make([]vec.Vec3, local.N())

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"repro/internal/fault"
+	"repro/internal/particle"
 	"repro/internal/tree"
 )
 
@@ -20,6 +21,31 @@ func wordsPerNode(disc tree.Discipline) int {
 		return coulombWords
 	}
 	return vortexWords
+}
+
+// Words per SoA lane index eligible for tree-domain injection: the
+// gathered per-particle payload that CheckLanes verifies against the
+// AoS source of truth.
+const (
+	vortexLaneWords  = 6 // X, Y, Z, AX, AY, AZ
+	coulombLaneWords = 4 // X, Y, Z, Q
+)
+
+func wordsPerLane(disc tree.Discipline) int {
+	if disc == tree.Coulomb {
+		return coulombLaneWords
+	}
+	return vortexLaneWords
+}
+
+// laneWordPtr maps a word index within one SoA lane index to the lane
+// element it addresses.
+func laneWordPtr(l *particle.SoA, disc tree.Discipline, lane, w int) *float64 {
+	if disc == tree.Coulomb {
+		return [...]*float64{&l.X[lane], &l.Y[lane], &l.Z[lane], &l.Q[lane]}[w]
+	}
+	return [...]*float64{&l.X[lane], &l.Y[lane], &l.Z[lane],
+		&l.AX[lane], &l.AY[lane], &l.AZ[lane]}[w]
 }
 
 // flipWord applies a bit flip to one moment word. A flip that the
@@ -96,6 +122,22 @@ func (g *Guard) AfterBuild(t *tree.Tree, attempt int) error {
 				}
 			}
 		}
+		// The SoA lanes extend the tree word space past the node
+		// moments: a flip in a gathered coordinate or weight lane is
+		// the same class of fault as a flipped moment word, and
+		// CheckLanes detects it against the AoS source of truth.
+		if l := t.Lanes; l != nil {
+			base := len(t.Nodes) * wpn
+			wpl := wordsPerLane(disc)
+			for lane := 0; lane < l.N(); lane++ {
+				for w := 0; w < wpl; w++ {
+					bit, ok := g.mem.Flip(fault.MemTree, uint64(epoch), attempt, base+lane*wpl+w)
+					if ok && flipWord(laneWordPtr(l, disc, lane, w), bit) {
+						inj++
+					}
+				}
+			}
+		}
 		if inj > 0 {
 			g.pb.injected.Add(int64(inj))
 		}
@@ -103,6 +145,9 @@ func (g *Guard) AfterBuild(t *tree.Tree, attempt int) error {
 	verr := t.CheckOrdering()
 	if verr == nil {
 		verr = t.CheckMoments()
+	}
+	if verr == nil {
+		verr = t.CheckLanes()
 	}
 	if verr == nil {
 		if g.treePending > 0 {
@@ -123,6 +168,8 @@ func (g *Guard) AfterBuild(t *tree.Tree, attempt int) error {
 		monitor := "tree-moments"
 		if errors.Is(verr, tree.ErrOrdering) {
 			monitor = "tree-ordering"
+		} else if errors.Is(verr, tree.ErrLanes) {
+			monitor = "tree-lanes"
 		}
 		return g.violation(monitor, epoch,
 			"corruption persisted through %d rebuilds: %v", attempt, verr)

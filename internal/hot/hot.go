@@ -100,6 +100,11 @@ type Config struct {
 	// rebuild on detection). The rebuild loop is collective-free, so
 	// ranks may retry independently. Nil costs nothing.
 	Hook tree.BuildHook
+	// Layout selects the local-tree evaluation storage: LayoutSoA
+	// gathers Morton-sorted lanes at build so the near/far list legs
+	// run the batched kernels; LayoutAoS (the zero value) is the
+	// reference path. Bitwise equal either way (DESIGN.md §14).
+	Layout particle.Layout
 }
 
 // Stats describes the work of the most recent evaluation on this rank.
@@ -321,6 +326,7 @@ func (s *Solver) run(sys *particle.System, disc tree.Discipline, vel, stretch []
 			Discipline: disc,
 			Domain:     &dom,
 			OwnedLo:    myLo, OwnedHi: myHi, OwnedSet: true,
+			Layout:     s.cfg.Layout,
 		})
 		if s.meter != nil {
 			comm.Advance(s.meter.TreeBuild(local.N()))

@@ -1,0 +1,343 @@
+package kernel
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/vec"
+)
+
+// ulpDist is the integer distance between two float64 values on the
+// ordered bit line (0: bitwise equal, 1 spans ±0; NaN vs non-NaN is
+// maximal, NaN vs NaN is 0).
+func ulpDist(a, b float64) uint64 {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		if math.IsNaN(a) && math.IsNaN(b) {
+			return 0
+		}
+		return math.MaxUint64
+	}
+	ord := func(bits uint64) uint64 {
+		if bits&(1<<63) != 0 {
+			return ^bits
+		}
+		return bits | (1 << 63)
+	}
+	oa, ob := ord(math.Float64bits(a)), ord(math.Float64bits(b))
+	if oa > ob {
+		return oa - ob
+	}
+	return ob - oa
+}
+
+// refGradRange is the AoS reference the batch must match: the exact
+// accumulation loop of the near-field evaluators, built on
+// Pairwise.VelocityGrad.
+func refGradRange(pw Pairwise, tx, ty, tz float64, xs, ys, zs, axs, ays, azs []float64, skip int) VortexAcc {
+	var u vec.Vec3
+	var g vec.Mat3
+	var acc VortexAcc
+	x := vec.V3(tx, ty, tz)
+	for i := range xs {
+		if i == skip {
+			continue
+		}
+		du, dg := pw.VelocityGrad(x.Sub(vec.V3(xs[i], ys[i], zs[i])), vec.V3(axs[i], ays[i], azs[i]))
+		u = u.Add(du)
+		g = g.Add(dg)
+		acc.N++
+	}
+	acc.UX, acc.UY, acc.UZ = u.X, u.Y, u.Z
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			acc.G[3*i+j] = g[i][j]
+		}
+	}
+	return acc
+}
+
+// refVelRange mirrors the AoS velocity-only loop.
+func refVelRange(pw Pairwise, tx, ty, tz float64, xs, ys, zs, axs, ays, azs []float64, skip int) VortexAcc {
+	var u vec.Vec3
+	var acc VortexAcc
+	x := vec.V3(tx, ty, tz)
+	for i := range xs {
+		if i == skip {
+			continue
+		}
+		u = u.Add(pw.Velocity(x.Sub(vec.V3(xs[i], ys[i], zs[i])), vec.V3(axs[i], ays[i], azs[i])))
+		acc.N++
+	}
+	acc.UX, acc.UY, acc.UZ = u.X, u.Y, u.Z
+	return acc
+}
+
+// refCoulombRange mirrors the AoS Coulomb loop.
+func refCoulombRange(tx, ty, tz, eps float64, xs, ys, zs, qs []float64, skip int) CoulombAcc {
+	var acc CoulombAcc
+	var e vec.Vec3
+	x := vec.V3(tx, ty, tz)
+	for i := range xs {
+		if i == skip {
+			continue
+		}
+		dphi, de := Coulomb(x.Sub(vec.V3(xs[i], ys[i], zs[i])), qs[i], eps)
+		acc.Phi += dphi
+		e = e.Add(de)
+		acc.N++
+	}
+	acc.EX, acc.EY, acc.EZ = e.X, e.Y, e.Z
+	return acc
+}
+
+func checkVortexAcc(t *testing.T, ctx string, got, want VortexAcc, maxUlp uint64) {
+	t.Helper()
+	if got.N != want.N {
+		t.Fatalf("%s: interaction count %d, want %d", ctx, got.N, want.N)
+	}
+	if d := ulpDist(got.UX, want.UX); d > maxUlp {
+		t.Fatalf("%s: UX off by %d ulp (%g vs %g)", ctx, d, got.UX, want.UX)
+	}
+	if d := ulpDist(got.UY, want.UY); d > maxUlp {
+		t.Fatalf("%s: UY off by %d ulp (%g vs %g)", ctx, d, got.UY, want.UY)
+	}
+	if d := ulpDist(got.UZ, want.UZ); d > maxUlp {
+		t.Fatalf("%s: UZ off by %d ulp (%g vs %g)", ctx, d, got.UZ, want.UZ)
+	}
+	for k := 0; k < 9; k++ {
+		if d := ulpDist(got.G[k], want.G[k]); d > maxUlp {
+			t.Fatalf("%s: G[%d] off by %d ulp (%g vs %g)", ctx, k, d, got.G[k], want.G[k])
+		}
+	}
+}
+
+var batchKernelNames = []string{
+	"algebraic2", "algebraic4", "algebraic6",
+	"winckelmans-leonard", "gaussian", "singular",
+}
+
+// randomLanes fills n source lanes with positions in a unit-scale cloud
+// around the target and O(1) circulations.
+func randomLanes(rng *rand.Rand, n int, tx, ty, tz float64) (xs, ys, zs, axs, ays, azs []float64) {
+	xs = make([]float64, n)
+	ys = make([]float64, n)
+	zs = make([]float64, n)
+	axs = make([]float64, n)
+	ays = make([]float64, n)
+	azs = make([]float64, n)
+	for i := 0; i < n; i++ {
+		xs[i] = tx + rng.NormFloat64()
+		ys[i] = ty + rng.NormFloat64()
+		zs[i] = tz + rng.NormFloat64()
+		axs[i] = rng.NormFloat64()
+		ays[i] = rng.NormFloat64()
+		azs[i] = rng.NormFloat64()
+	}
+	return
+}
+
+// TestBatchMatchesScalarReference sweeps every kernel over every range
+// length from 0 to several full blocks (covering every remainder-loop
+// length), with the skip index placed inside and outside the range, and
+// requires the batched loops to stay within 1 ulp of the AoS reference
+// — bitwise in practice on non-FMA builds.
+func TestBatchMatchesScalarReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, name := range batchKernelNames {
+		pw := Pairwise{Sm: ByName(name), Sigma: 0.35}
+		b := NewVortexBatch(pw)
+		for n := 0; n <= 3*BatchWidth+1; n++ {
+			tx, ty, tz := rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()
+			xs, ys, zs, axs, ays, azs := randomLanes(rng, n, tx, ty, tz)
+			if n > 2 {
+				// One coincident source: exercises the d2 == 0 elision.
+				xs[1], ys[1], zs[1] = tx, ty, tz
+			}
+			for _, skip := range []int{-1, 0, n / 2, n - 1} {
+				var got VortexAcc
+				b.AccumGradRange(&got, tx, ty, tz, xs, ys, zs, axs, ays, azs, skip)
+				want := refGradRange(pw, tx, ty, tz, xs, ys, zs, axs, ays, azs, skip)
+				checkVortexAcc(t, name, got, want, 1)
+
+				var gotV VortexAcc
+				b.AccumVelRange(&gotV, tx, ty, tz, xs, ys, zs, axs, ays, azs, skip)
+				wantV := refVelRange(pw, tx, ty, tz, xs, ys, zs, axs, ays, azs, skip)
+				checkVortexAcc(t, name+"/vel", gotV, wantV, 1)
+			}
+		}
+	}
+}
+
+// TestBatchFarMatchesVelocityGrad checks the single-pair far-field leg
+// against the AoS kernel for random separations, including the
+// zero-separation early return.
+func TestBatchFarMatchesVelocityGrad(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, name := range batchKernelNames {
+		pw := Pairwise{Sm: ByName(name), Sigma: 0.2}
+		b := NewVortexBatch(pw)
+		for trial := 0; trial < 200; trial++ {
+			r := vec.V3(rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64())
+			if trial == 0 {
+				r = vec.Zero3
+			}
+			a := vec.V3(rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64())
+			var acc VortexAcc
+			b.AccumGrad(&acc, r.X, r.Y, r.Z, a.X, a.Y, a.Z)
+			u, g := pw.VelocityGrad(r, a)
+			var want VortexAcc
+			want.UX, want.UY, want.UZ = u.X, u.Y, u.Z
+			for i := 0; i < 3; i++ {
+				for j := 0; j < 3; j++ {
+					want.G[3*i+j] = g[i][j]
+				}
+			}
+			checkVortexAcc(t, name+"/far", acc, want, 1)
+		}
+	}
+}
+
+// TestBatchCoulombMatchesScalarReference is the Coulomb analog of the
+// range sweep.
+func TestBatchCoulombMatchesScalarReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for _, eps := range []float64{0, 1e-3, 0.1} {
+		for n := 0; n <= 3*BatchWidth+1; n++ {
+			tx, ty, tz := rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()
+			xs, ys, zs, qs, _, _ := randomLanes(rng, n, tx, ty, tz)
+			if n > 2 {
+				xs[1], ys[1], zs[1] = tx, ty, tz // coincident (skipped only when eps == 0)
+			}
+			for _, skip := range []int{-1, 0, n - 1} {
+				var got CoulombAcc
+				AccumCoulombRange(&got, tx, ty, tz, eps, xs, ys, zs, qs, skip)
+				want := refCoulombRange(tx, ty, tz, eps, xs, ys, zs, qs, skip)
+				if got.N != want.N {
+					t.Fatalf("eps=%g n=%d: count %d, want %d", eps, n, got.N, want.N)
+				}
+				if d := ulpDist(got.Phi, want.Phi); d > 1 {
+					t.Fatalf("eps=%g n=%d: Phi off by %d ulp", eps, n, d)
+				}
+				for _, c := range [3][2]float64{{got.EX, want.EX}, {got.EY, want.EY}, {got.EZ, want.EZ}} {
+					if d := ulpDist(c[0], c[1]); d > 1 {
+						t.Fatalf("eps=%g n=%d: field off by %d ulp", eps, n, d)
+					}
+				}
+			}
+		}
+	}
+}
+
+// fuzzLanes decodes fuzz bytes into bounded lane data: coordinates in
+// [−10σ, 10σ] around the target, circulations in [−1, 1], with
+// optional denormal circulation components and near/exactly coincident
+// sources. Bounding keeps intermediate magnitudes out of overflow so
+// the finiteness guarantee below is meaningful.
+func fuzzLanes(rng *rand.Rand, n int, tx, ty, tz, sigma float64, denorm, coincide bool) (xs, ys, zs, axs, ays, azs []float64) {
+	xs, ys, zs, axs, ays, azs = randomLanes(rng, n, 0, 0, 0)
+	for i := 0; i < n; i++ {
+		xs[i] = tx + xs[i]*3*sigma
+		ys[i] = ty + ys[i]*3*sigma
+		zs[i] = tz + zs[i]*3*sigma
+	}
+	if denorm && n > 0 {
+		i := rng.Intn(n)
+		axs[i] = math.SmallestNonzeroFloat64 * float64(1+rng.Intn(7))
+		ays[i] = -math.SmallestNonzeroFloat64
+		// A subnormal offset from the target: d² underflows to exactly
+		// zero, taking the coincident-pair path.
+		xs[i] = tx + math.SmallestNonzeroFloat64
+		ys[i], zs[i] = ty, tz
+	}
+	if coincide && n > 1 {
+		i := rng.Intn(n)
+		xs[i], ys[i], zs[i] = tx, ty, tz
+	}
+	return
+}
+
+// FuzzBatchGradRange fuzzes the batched gradient loop against the AoS
+// reference over random tail lengths (0..BatchWidth−1 beyond whole
+// blocks), denormal circulations and coincident sources. The batch must
+// stay within 1 ulp of the reference in every component, and for the
+// regularized kernels must never produce NaN/Inf from finite bounded
+// input.
+func FuzzBatchGradRange(f *testing.F) {
+	f.Add(int64(1), uint8(0), uint8(0), 0.3, false, false)
+	f.Add(int64(2), uint8(3), uint8(1), 1.0, true, false)
+	f.Add(int64(3), uint8(7), uint8(2), 0.02, false, true)
+	f.Add(int64(4), uint8(5), uint8(0), 250.0, true, true)
+	f.Fuzz(func(t *testing.T, seed int64, tail, blocks uint8, sigmaRaw float64, denorm, coincide bool) {
+		sigma := sigmaRaw
+		if !(sigma > 1e-3 && sigma < 1e3) { // also rejects NaN
+			sigma = 0.5
+		}
+		n := int(blocks%3)*BatchWidth + int(tail%BatchWidth)
+		rng := rand.New(rand.NewSource(seed))
+		tx, ty, tz := rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()
+		xs, ys, zs, axs, ays, azs := fuzzLanes(rng, n, tx, ty, tz, sigma, denorm, coincide)
+		skip := -1
+		if n > 0 && rng.Intn(2) == 0 {
+			skip = rng.Intn(n)
+		}
+		for _, name := range batchKernelNames {
+			pw := Pairwise{Sm: ByName(name), Sigma: sigma}
+			b := NewVortexBatch(pw)
+			var got VortexAcc
+			b.AccumGradRange(&got, tx, ty, tz, xs, ys, zs, axs, ays, azs, skip)
+			want := refGradRange(pw, tx, ty, tz, xs, ys, zs, axs, ays, azs, skip)
+			checkVortexAcc(t, name, got, want, 1)
+			if name != "singular" { // the singular kernel diverges at r→0 by definition
+				vals := []float64{got.UX, got.UY, got.UZ}
+				vals = append(vals, got.G[:]...)
+				for k, v := range vals {
+					if math.IsNaN(v) || math.IsInf(v, 0) {
+						t.Fatalf("%s: non-finite output %d (%g) from finite input", name, k, v)
+					}
+				}
+			}
+		}
+	})
+}
+
+// FuzzBatchCoulombRange is the Coulomb analog: remainder loop + eps
+// sweep, 1 ulp against the scalar reference, finite output for finite
+// bounded input with nonzero softening.
+func FuzzBatchCoulombRange(f *testing.F) {
+	f.Add(int64(1), uint8(0), uint8(1), 0.0, false)
+	f.Add(int64(2), uint8(6), uint8(0), 1e-3, true)
+	f.Add(int64(3), uint8(7), uint8(2), 0.5, false)
+	f.Fuzz(func(t *testing.T, seed int64, tail, blocks uint8, epsRaw float64, coincide bool) {
+		eps := epsRaw
+		if !(eps >= 0 && eps < 1e3) {
+			eps = 1e-3
+		}
+		n := int(blocks%3)*BatchWidth + int(tail%BatchWidth)
+		rng := rand.New(rand.NewSource(seed))
+		tx, ty, tz := rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()
+		xs, ys, zs, qs, _, _ := randomLanes(rng, n, tx, ty, tz)
+		if coincide && n > 0 {
+			i := rng.Intn(n)
+			xs[i], ys[i], zs[i] = tx, ty, tz
+		}
+		skip := -1
+		if n > 0 && rng.Intn(2) == 0 {
+			skip = rng.Intn(n)
+		}
+		var got CoulombAcc
+		AccumCoulombRange(&got, tx, ty, tz, eps, xs, ys, zs, qs, skip)
+		want := refCoulombRange(tx, ty, tz, eps, xs, ys, zs, qs, skip)
+		if got.N != want.N {
+			t.Fatalf("count %d, want %d", got.N, want.N)
+		}
+		for _, c := range [4][2]float64{{got.Phi, want.Phi}, {got.EX, want.EX}, {got.EY, want.EY}, {got.EZ, want.EZ}} {
+			if d := ulpDist(c[0], c[1]); d > 1 {
+				t.Fatalf("component off by %d ulp (%g vs %g)", d, c[0], c[1])
+			}
+			if math.IsNaN(c[0]) || math.IsInf(c[0], 0) {
+				t.Fatalf("non-finite output %g from finite input", c[0])
+			}
+		}
+	})
+}

@@ -82,6 +82,31 @@ func unpack(b uint64) (int, int) { return int(b >> 32), int(uint32(b)) }
 // Each index is processed exactly once; the assignment of chunks to
 // workers is load-driven and not deterministic, so fn must only write
 // state owned by the indices it receives (plus commutative reductions).
+// RunAligned is Run with every chunk boundary rounded to a multiple of
+// align (the final boundary n excepted): initial splits, claims and
+// steal split points all land on align multiples because the scheduler
+// runs over whole blocks of align indices. Evaluators that slice SoA
+// lanes by [lo, hi) use it so every worker's inner loop starts on a
+// full batch block. align ≤ 1 is plain Run.
+func RunAligned(workers, n, grain, align int, fn func(worker, lo, hi int)) Stats {
+	if align <= 1 {
+		return Run(workers, n, grain, fn)
+	}
+	nb := (n + align - 1) / align
+	gb := 0
+	if grain > 0 {
+		gb = (grain + align - 1) / align
+	}
+	return Run(workers, nb, gb, func(w, blo, bhi int) {
+		lo := blo * align
+		hi := bhi * align
+		if hi > n {
+			hi = n
+		}
+		fn(w, lo, hi)
+	})
+}
+
 func Run(workers, n, grain int, fn func(worker, lo, hi int)) Stats {
 	if n <= 0 {
 		return Stats{}

@@ -90,3 +90,47 @@ func TestMaxOverMean(t *testing.T) {
 		t.Errorf("imbalanced: got %g", got)
 	}
 }
+
+// TestRunAlignedBoundariesAndCoverage checks the two properties SoA
+// evaluators rely on: every index is processed exactly once, and every
+// chunk boundary except the final n is a multiple of align (so inner
+// loops always start on a full batch block).
+func TestRunAlignedBoundariesAndCoverage(t *testing.T) {
+	for _, tc := range []struct{ workers, n, grain, align int }{
+		{1, 100, 7, 8},
+		{4, 1000, 0, 8},
+		{4, 1003, 0, 8}, // ragged tail
+		{8, 37, 5, 16},
+		{16, 3, 0, 8},  // fewer items than one block
+		{4, 8, 0, 8},   // exactly one block
+		{4, 500, 3, 1}, // align ≤ 1 degenerates to Run
+		{0, 257, 0, 8}, // auto workers
+	} {
+		seen := make([]atomic.Int32, tc.n)
+		st := RunAligned(tc.workers, tc.n, tc.grain, tc.align, func(_, lo, hi int) {
+			if lo < 0 || hi > tc.n || lo >= hi {
+				t.Errorf("%+v: bad chunk [%d,%d)", tc, lo, hi)
+				return
+			}
+			if tc.align > 1 {
+				if lo%tc.align != 0 {
+					t.Errorf("%+v: chunk start %d not aligned", tc, lo)
+				}
+				if hi%tc.align != 0 && hi != tc.n {
+					t.Errorf("%+v: chunk end %d neither aligned nor n", tc, hi)
+				}
+			}
+			for i := lo; i < hi; i++ {
+				seen[i].Add(1)
+			}
+		})
+		for i := range seen {
+			if got := seen[i].Load(); got != 1 {
+				t.Fatalf("%+v: index %d processed %d times", tc, i, got)
+			}
+		}
+		if st.Workers < 1 {
+			t.Fatalf("%+v: no workers reported", tc)
+		}
+	}
+}

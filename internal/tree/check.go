@@ -21,6 +21,9 @@ var (
 	ErrMoments = errors.New("tree: multipole moments inconsistent")
 	// ErrOrdering reports a violated Morton sort order.
 	ErrOrdering = errors.New("tree: morton key order violated")
+	// ErrLanes reports an SoA lane word inconsistent with its source
+	// particle (or a broken Order/sortedPos bijection).
+	ErrLanes = errors.New("tree: soa lanes inconsistent with particles")
 	// ErrRetryBuild is returned (wrapped) by a BuildHook to request a
 	// clean rebuild of the tree; any other hook error is fatal.
 	ErrRetryBuild = errors.New("tree: retry build")
@@ -140,7 +143,16 @@ func momentsEqual(a, b *Node) bool {
 // rebuild loop is collective-free: ranks may take different attempt
 // counts without desynchronizing the communicator.
 func BuildWithHook(hook BuildHook, sys *particle.System, cfg BuildConfig) *Tree {
-	t := Build(sys, cfg)
+	return BuildArenaWithHook(hook, new(Arena), sys, cfg)
+}
+
+// BuildArenaWithHook is BuildWithHook with arena-backed storage: every
+// build of the retry ladder reuses the arena's capacity, and a rebuild
+// fully overwrites whatever the hook's injection corrupted (nodes,
+// keys, order and SoA lanes are all regathered from the unchanged
+// particle data).
+func BuildArenaWithHook(hook BuildHook, a *Arena, sys *particle.System, cfg BuildConfig) *Tree {
+	t := BuildInto(a, sys, cfg)
 	if hook == nil {
 		return t
 	}
@@ -152,8 +164,52 @@ func BuildWithHook(hook BuildHook, sys *particle.System, cfg BuildConfig) *Tree 
 		if !errors.Is(err, ErrRetryBuild) {
 			panic(err)
 		}
-		t = Build(sys, cfg)
+		t = BuildInto(a, sys, cfg)
 	}
+}
+
+// CheckLanes is the SoA companion of CheckMoments: it verifies that
+// every gathered lane word is bitwise equal to its source particle
+// component under the Morton permutation and that sortedPos is the
+// exact inverse of Order. Lanes are a redundant copy of the particle
+// state, so the check needs no tolerance — float equality (NaN never
+// matching itself) detects any flipped lane word, including flips that
+// turn a lane into NaN. AoS trees (no lanes) pass trivially.
+func (t *Tree) CheckLanes() error {
+	l := t.Lanes
+	if l == nil {
+		return nil
+	}
+	n := t.sys.N()
+	if l.N() != n {
+		return fmt.Errorf("%w: %d lanes for %d particles", ErrLanes, l.N(), n)
+	}
+	if len(t.sortedPos) != n {
+		return fmt.Errorf("%w: sortedPos has %d entries, want %d", ErrLanes, len(t.sortedPos), n)
+	}
+	for i, idx := range t.Order {
+		if int(t.sortedPos[idx]) != i {
+			return fmt.Errorf("%w: sortedPos[%d]=%d, want %d", ErrLanes, idx, t.sortedPos[idx], i)
+		}
+		p := &t.sys.Particles[idx]
+		//lint:ignore floateq deliberate float equality: lanes are bitwise copies, NaN must never match
+		if !(l.X[i] == p.Pos.X && l.Y[i] == p.Pos.Y && l.Z[i] == p.Pos.Z) {
+			return fmt.Errorf("%w: position lane %d disagrees with particle %d", ErrLanes, i, idx)
+		}
+		switch t.discipline {
+		case Vortex:
+			//lint:ignore floateq deliberate float equality: lanes are bitwise copies, NaN must never match
+			if !(l.AX[i] == p.Alpha.X && l.AY[i] == p.Alpha.Y && l.AZ[i] == p.Alpha.Z) {
+				return fmt.Errorf("%w: circulation lane %d disagrees with particle %d", ErrLanes, i, idx)
+			}
+		case Coulomb:
+			//lint:ignore floateq deliberate float equality: lanes are bitwise copies, NaN must never match
+			if l.Q[i] != p.Charge {
+				return fmt.Errorf("%w: charge lane %d disagrees with particle %d", ErrLanes, i, idx)
+			}
+		}
+	}
+	return nil
 }
 
 // Discipline reports which multipole data the tree carries; the guard

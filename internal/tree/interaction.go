@@ -272,6 +272,23 @@ func (t *Tree) LeafGroups() []int32 {
 // The center/extent rounding can place a boundary particle a few ulps
 // outside the box; classifyMargin absorbs that.
 func (t *Tree) GroupBounds(first, count int) (gc, ge vec.Vec3) {
+	if l := t.Lanes; l != nil {
+		// Position lanes hold the same bits in sorted order; the same
+		// min/max chain walks them linearly.
+		lo := vec.V3(l.X[first], l.Y[first], l.Z[first])
+		hi := lo
+		for i := first + 1; i < first+count; i++ {
+			lo.X = math.Min(lo.X, l.X[i])
+			lo.Y = math.Min(lo.Y, l.Y[i])
+			lo.Z = math.Min(lo.Z, l.Z[i])
+			hi.X = math.Max(hi.X, l.X[i])
+			hi.Y = math.Max(hi.Y, l.Y[i])
+			hi.Z = math.Max(hi.Z, l.Z[i])
+		}
+		gc = lo.Add(hi).Scale(0.5)
+		ge = hi.Sub(lo).Scale(0.5)
+		return gc, ge
+	}
 	lo := t.sys.Particles[t.Order[first]].Pos
 	hi := lo
 	for i := first + 1; i < first+count; i++ {
@@ -297,11 +314,18 @@ func (t *Tree) GroupBounds(first, count int) (gc, ge vec.Vec3) {
 // [First, First+Count) of t.Order. cap ≤ LeafCap degenerates to
 // LeafGroups (every internal cell holds more than LeafCap particles).
 func (t *Tree) Groups(cap int) []int32 {
+	return t.AppendGroups(make([]int32, 0, 64), cap)
+}
+
+// AppendGroups is Groups appending into buf (pass buf[:0] to reuse the
+// previous step's capacity — the solver's arena contract).
+func (t *Tree) AppendGroups(buf []int32, cap int) []int32 {
 	if cap < 1 {
 		cap = 1
 	}
-	out := make([]int32, 0, 64)
-	stack := []int32{int32(t.Root)}
+	out := buf
+	sp := getStack()
+	stack := append(*sp, int32(t.Root))
 	for len(stack) > 0 {
 		idx := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
@@ -319,6 +343,8 @@ func (t *Tree) Groups(cap int) []int32 {
 			}
 		}
 	}
+	*sp = stack
+	putStack(sp)
 	return out
 }
 
@@ -328,6 +354,9 @@ func (t *Tree) Groups(cap int) []int32 {
 // into the running result. The summation order is identical to
 // VortexAtNodeMAC on the subtree the list was built from.
 func (t *Tree) EvalVortexList(list *InteractionList, mac MACKind, theta float64, x vec.Vec3, skipOrig int, pw kernel.Pairwise, useDipole bool) VortexResult {
+	if t.Lanes != nil {
+		return t.evalVortexListSoA(list, mac, theta, x, skipOrig, pw, useDipole)
+	}
 	var res VortexResult
 	res.Rejects = list.Opens
 	for _, it := range list.Items {
@@ -346,6 +375,9 @@ func (t *Tree) EvalVortexList(list *InteractionList, mac MACKind, theta float64,
 // EvalCoulombList is EvalVortexList for the Coulomb evaluator (which
 // always uses the classical Barnes-Hut criterion).
 func (t *Tree) EvalCoulombList(list *InteractionList, theta, eps float64, x vec.Vec3, skipOrig int) CoulombResult {
+	if t.Lanes != nil {
+		return t.evalCoulombListSoA(list, theta, eps, x, skipOrig)
+	}
 	var res CoulombResult
 	res.Rejects = list.Opens
 	for _, it := range list.Items {

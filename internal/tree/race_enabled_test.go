@@ -1,0 +1,10 @@
+//go:build race
+
+package tree
+
+// Race-detector builds set raceEnabled (declared in layout_test.go):
+// instrumentation allocates on otherwise allocation-free paths, so the
+// steady-state zero-alloc contract is asserted only in the non-race
+// lane. A tagged init rather than a tagged constant pair keeps the
+// package type-checking under tools that ignore build constraints.
+func init() { raceEnabled = true }

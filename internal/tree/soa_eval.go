@@ -1,0 +1,276 @@
+package tree
+
+import (
+	"math"
+
+	"repro/internal/kernel"
+	"repro/internal/vec"
+)
+
+// This file is the struct-of-arrays evaluation path: when a tree
+// carries Lanes (BuildConfig.Layout = LayoutSoA), the top-level
+// evaluators — EvalVortexList/EvalCoulombList and the per-particle
+// walks — accumulate through kernel's batched scalar kernels over the
+// Morton-sorted lane slices instead of gathering []Particle records
+// through the permutation. The item/stack order, the MAC decisions and
+// the per-pair arithmetic are identical to the AoS reference, and the
+// lanes are bitwise copies of the particle data, so each per-component
+// accumulation chain sums exactly the same values in exactly the same
+// order: the converted result is bitwise equal to the AoS result (the
+// equivalence contract of DESIGN.md §14). Skip targets are translated
+// once per evaluation from original index to lane via sortedPos —
+// Order is a bijection, so lane sortedPos[skipOrig] is the same
+// particle the AoS loops exclude by original index.
+
+// vortexSoA is the per-target accumulation state of the SoA vortex
+// evaluator: the precomputed batch constants, the scalar accumulator,
+// and the MAC counters the scalar kernels do not track.
+type vortexSoA struct {
+	b           kernel.VortexBatch
+	acc         kernel.VortexAcc
+	cellAccepts int64
+	rejects     int64
+}
+
+// accumDipole adds the dipole correction of an accepted cell — the
+// scalar mirror of DipoleVelocity followed by res.U.Add. Like the
+// reference it has no zero-separation guard: accepted cells always
+// satisfy dist > 0.
+func accumDipole(acc *kernel.VortexAcc, rx, ry, rz float64, dip *vec.Mat3) {
+	r2 := rx*rx + ry*ry + rz*rz
+	r1 := math.Sqrt(r2)
+	r3 := r2 * r1
+	r5 := r3 * r2
+	wx := dip[0][0]*rx + dip[1][0]*ry + dip[2][0]*rz
+	wy := dip[0][1]*rx + dip[1][1]*ry + dip[2][1]*rz
+	wz := dip[0][2]*rx + dip[1][2]*ry + dip[2][2]*rz
+	cx := dip[1][2] - dip[2][1]
+	cy := dip[2][0] - dip[0][2]
+	cz := dip[0][1] - dip[1][0]
+	s := 3 / r5
+	ux := s * (ry*wz - rz*wy)
+	uy := s * (rz*wx - rx*wz)
+	uz := s * (rx*wy - ry*wx)
+	tf := 1 / r3
+	ux = ux - tf*cx
+	uy = uy - tf*cy
+	uz = uz - tf*cz
+	const k = -1 / (4 * math.Pi)
+	acc.UX += k * ux
+	acc.UY += k * uy
+	acc.UZ += k * uz
+}
+
+// far folds one MAC-accepted cell into the accumulator — the SoA
+// mirror of AccumVortexFar.
+func (e *vortexSoA) far(t *Tree, node int32, x vec.Vec3, useDipole bool) {
+	nd := &t.Nodes[node]
+	rx := x.X - nd.Centroid.X
+	ry := x.Y - nd.Centroid.Y
+	rz := x.Z - nd.Centroid.Z
+	e.b.AccumGrad(&e.acc, rx, ry, rz, nd.CircSum.X, nd.CircSum.Y, nd.CircSum.Z)
+	if useDipole {
+		accumDipole(&e.acc, rx, ry, rz, &nd.Dipole)
+	}
+	e.acc.N++
+	e.cellAccepts++
+}
+
+// near folds one leaf's particles into the accumulator by batched
+// direct summation over the lane range — the SoA mirror of
+// AccumVortexNear. skipSorted is the target's lane (-1: none).
+func (e *vortexSoA) near(t *Tree, node int32, x vec.Vec3, skipSorted int) {
+	nd := &t.Nodes[node]
+	lo, hi := nd.First, nd.First+nd.Count
+	skip := skipSorted - lo
+	if skipSorted < lo || skipSorted >= hi {
+		skip = -1
+	}
+	l := t.Lanes
+	e.b.AccumGradRange(&e.acc, x.X, x.Y, x.Z,
+		l.X[lo:hi], l.Y[lo:hi], l.Z[lo:hi],
+		l.AX[lo:hi], l.AY[lo:hi], l.AZ[lo:hi], skip)
+}
+
+// walk runs the per-particle MAC traversal over lanes — the SoA mirror
+// of AccumVortexWalk (same stack discipline, same acceptance
+// predicate).
+func (e *vortexSoA) walk(t *Tree, mac MACKind, start int32, x vec.Vec3, theta float64, skipSorted int, useDipole bool) {
+	theta2 := theta * theta
+	sp := getStack()
+	stack := append(*sp, start)
+	for len(stack) > 0 {
+		idx := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		nd := &t.Nodes[idx]
+		if nd.Count == 0 {
+			continue
+		}
+		if !nd.Leaf {
+			r2 := x.Sub(nd.Centroid).Norm2()
+			if mac.acceptsSq(theta2, nd, x, r2) {
+				e.far(t, idx, x, useDipole)
+				continue
+			}
+			e.rejects++
+			for _, ci := range nd.Children {
+				if ci >= 0 {
+					stack = append(stack, ci)
+				}
+			}
+			continue
+		}
+		e.near(t, idx, x, skipSorted)
+	}
+	*sp = stack
+	putStack(sp)
+}
+
+// result converts the scalar accumulator into a VortexResult — a pure
+// bit copy, performed once after the full accumulation so associativity
+// is untouched.
+func (e *vortexSoA) result(opens int64) VortexResult {
+	return VortexResult{
+		U: vec.V3(e.acc.UX, e.acc.UY, e.acc.UZ),
+		Grad: vec.Mat3{
+			{e.acc.G[0], e.acc.G[1], e.acc.G[2]},
+			{e.acc.G[3], e.acc.G[4], e.acc.G[5]},
+			{e.acc.G[6], e.acc.G[7], e.acc.G[8]},
+		},
+		Interactions: e.acc.N,
+		CellAccepts:  e.cellAccepts,
+		Rejects:      opens + e.rejects,
+	}
+}
+
+// skipLane translates an original particle index into its lane.
+func (t *Tree) skipLane(skipOrig int) int {
+	if skipOrig < 0 {
+		return -1
+	}
+	return int(t.sortedPos[skipOrig])
+}
+
+// evalVortexListSoA is the SoA body of EvalVortexList.
+func (t *Tree) evalVortexListSoA(list *InteractionList, mac MACKind, theta float64, x vec.Vec3, skipOrig int, pw kernel.Pairwise, useDipole bool) VortexResult {
+	e := vortexSoA{b: kernel.NewVortexBatch(pw)}
+	skipSorted := t.skipLane(skipOrig)
+	for _, it := range list.Items {
+		switch it.Kind {
+		case ItemFar:
+			e.far(t, it.Node, x, useDipole)
+		case ItemNear:
+			e.near(t, it.Node, x, skipSorted)
+		default:
+			e.walk(t, mac, it.Node, x, theta, skipSorted, useDipole)
+		}
+	}
+	return e.result(list.Opens)
+}
+
+// vortexAtNodeSoA is the SoA body of VortexAtNodeMAC.
+func (t *Tree) vortexAtNodeSoA(mac MACKind, start int, x vec.Vec3, theta float64, skipOrig int, pw kernel.Pairwise, useDipole bool) VortexResult {
+	e := vortexSoA{b: kernel.NewVortexBatch(pw)}
+	e.walk(t, mac, int32(start), x, theta, t.skipLane(skipOrig), useDipole)
+	return e.result(0)
+}
+
+// coulombSoA is vortexSoA for the Coulomb discipline.
+type coulombSoA struct {
+	acc         kernel.CoulombAcc
+	cellAccepts int64
+	rejects     int64
+}
+
+// far folds one accepted cell's multipole expansion into the
+// accumulator. The cell math itself is shared with the AoS path
+// (CoulombCell); only the accumulation is scalarized.
+func (e *coulombSoA) far(t *Tree, node int32, x vec.Vec3) {
+	nd := &t.Nodes[node]
+	phi, ef := CoulombCell(x.Sub(nd.Centroid), nd)
+	e.acc.Phi += phi
+	e.acc.EX += ef.X
+	e.acc.EY += ef.Y
+	e.acc.EZ += ef.Z
+	e.acc.N++
+	e.cellAccepts++
+}
+
+// near folds one leaf by batched direct summation over the lanes.
+func (e *coulombSoA) near(t *Tree, node int32, x vec.Vec3, eps float64, skipSorted int) {
+	nd := &t.Nodes[node]
+	lo, hi := nd.First, nd.First+nd.Count
+	skip := skipSorted - lo
+	if skipSorted < lo || skipSorted >= hi {
+		skip = -1
+	}
+	l := t.Lanes
+	kernel.AccumCoulombRange(&e.acc, x.X, x.Y, x.Z, eps,
+		l.X[lo:hi], l.Y[lo:hi], l.Z[lo:hi], l.Q[lo:hi], skip)
+}
+
+// walk mirrors AccumCoulombWalk (classical Barnes-Hut MAC) over lanes.
+func (e *coulombSoA) walk(t *Tree, start int32, x vec.Vec3, theta, eps float64, skipSorted int) {
+	theta2 := theta * theta
+	sp := getStack()
+	stack := append(*sp, start)
+	for len(stack) > 0 {
+		idx := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		nd := &t.Nodes[idx]
+		if nd.Count == 0 {
+			continue
+		}
+		if !nd.Leaf {
+			r2 := x.Sub(nd.Centroid).Norm2()
+			if MACSq(theta2, nd.Size*nd.Size, r2) {
+				e.far(t, idx, x)
+				continue
+			}
+			e.rejects++
+			for _, ci := range nd.Children {
+				if ci >= 0 {
+					stack = append(stack, ci)
+				}
+			}
+			continue
+		}
+		e.near(t, idx, x, eps, skipSorted)
+	}
+	*sp = stack
+	putStack(sp)
+}
+
+func (e *coulombSoA) result(opens int64) CoulombResult {
+	return CoulombResult{
+		Phi:          e.acc.Phi,
+		E:            vec.V3(e.acc.EX, e.acc.EY, e.acc.EZ),
+		Interactions: e.acc.N,
+		CellAccepts:  e.cellAccepts,
+		Rejects:      opens + e.rejects,
+	}
+}
+
+// evalCoulombListSoA is the SoA body of EvalCoulombList.
+func (t *Tree) evalCoulombListSoA(list *InteractionList, theta, eps float64, x vec.Vec3, skipOrig int) CoulombResult {
+	var e coulombSoA
+	skipSorted := t.skipLane(skipOrig)
+	for _, it := range list.Items {
+		switch it.Kind {
+		case ItemFar:
+			e.far(t, it.Node, x)
+		case ItemNear:
+			e.near(t, it.Node, x, eps, skipSorted)
+		default:
+			e.walk(t, it.Node, x, theta, eps, skipSorted)
+		}
+	}
+	return e.result(list.Opens)
+}
+
+// coulombAtNodeSoA is the SoA body of CoulombAtNode.
+func (t *Tree) coulombAtNodeSoA(start int, x vec.Vec3, theta, eps float64, skipOrig int) CoulombResult {
+	var e coulombSoA
+	e.walk(t, int32(start), x, theta, eps, t.skipLane(skipOrig))
+	return e.result(0)
+}

@@ -10,6 +10,7 @@ import (
 	"repro/internal/kernel"
 	"repro/internal/particle"
 	"repro/internal/sched"
+	"repro/internal/telemetry"
 	"repro/internal/vec"
 )
 
@@ -52,9 +53,23 @@ type Solver struct {
 	// layer: moment-flip injection + ABFT verification with rebuild on
 	// detection). Nil costs nothing.
 	Hook BuildHook
+	// Layout selects the evaluation storage: LayoutSoA (the
+	// NewSolver default) gathers Morton-sorted lanes at build and
+	// evaluates through the batched kernels; LayoutAoS is the
+	// reference path. The two are bitwise equal (DESIGN.md §14).
+	Layout particle.Layout
 
 	evals        atomic.Int64
 	interactions atomic.Int64
+
+	// Per-discipline build arenas plus group/list scratch: every
+	// per-step allocation of Eval/Coulomb reuses the previous step's
+	// capacity, so the single-worker hot path is allocation-free in
+	// steady state.
+	arenaV, arenaC Arena
+	groupsBuf      []int32
+	scratchList    InteractionList
+	busyBuf        [1]float64
 
 	// LastTree is the tree of the most recent Eval (for inspection by
 	// experiments); it is overwritten on every call.
@@ -65,10 +80,11 @@ type Solver struct {
 }
 
 // NewSolver returns a tree evaluator with the given kernel, stretching
-// scheme and MAC parameter θ, with dipole corrections enabled and a
-// bucket size of 8.
+// scheme and MAC parameter θ, with dipole corrections enabled, a
+// bucket size of 8 and the SoA layout.
 func NewSolver(sm kernel.Smoothing, scheme kernel.Scheme, theta float64) *Solver {
-	return &Solver{Sm: sm, Scheme: scheme, Theta: theta, LeafCap: 8, Dipole: true}
+	return &Solver{Sm: sm, Scheme: scheme, Theta: theta, LeafCap: 8, Dipole: true,
+		Layout: particle.LayoutSoA}
 }
 
 // Name implements field.Evaluator.
@@ -92,12 +108,13 @@ func (s *Solver) Eval(sys *particle.System, vel, stretch []vec.Vec3) {
 		panic("tree: Eval output slices must have length N")
 	}
 	s.evals.Add(1)
-	t := BuildWithHook(s.Hook, sys, BuildConfig{LeafCap: s.LeafCap, Discipline: Vortex})
+	t := BuildArenaWithHook(s.Hook, &s.arenaV, sys,
+		BuildConfig{LeafCap: s.LeafCap, Discipline: Vortex, Layout: s.Layout})
 	s.LastTree = t
 	pw := kernel.Pairwise{Sm: s.Sm, Sigma: sys.Sigma}
-	var inter atomic.Int64
 	if s.Traversal == TraversalRecursive {
 		s.LastSched = sched.Stats{}
+		var inter atomic.Int64
 		s.parallelRange(n, func(lo, hi int) {
 			var local int64
 			for q := lo; q < hi; q++ {
@@ -112,29 +129,70 @@ func (s *Solver) Eval(sys *particle.System, vel, stretch []vec.Vec3) {
 		s.interactions.Add(inter.Load())
 		return
 	}
-	groups := t.Groups(s.groupCap())
+	s.groupsBuf = t.AppendGroups(s.groupsBuf[:0], s.groupCap())
+	groups := s.groupsBuf
+	if s.workerCount(len(groups)) == 1 {
+		// Single-worker bypass: no scheduler, no goroutines, no pool —
+		// with arena-backed build and the solver-held scratch list, a
+		// steady-state Eval performs zero heap allocations.
+		t0 := telemetry.Wall()
+		var local int64
+		for _, g := range groups {
+			local += s.evalVortexGroup(t, sys, vel, stretch, pw, g, &s.scratchList)
+		}
+		s.busyBuf[0] = telemetry.Wall() - t0
+		s.LastSched = sched.Stats{Workers: 1, Busy: s.busyBuf[:]}
+		s.interactions.Add(local)
+		return
+	}
+	var inter atomic.Int64
 	s.LastSched = sched.Run(s.Workers, len(groups), s.StealGrain, func(_, lo, hi int) {
 		list := GetInteractionList()
 		var local int64
 		for gi := lo; gi < hi; gi++ {
-			g := groups[gi]
-			nd := &t.Nodes[g]
-			list.Reset()
-			gc, ge := t.GroupBounds(nd.First, nd.Count)
-			t.AppendInteractionList(list, s.MAC, s.Theta, int32(t.Root), gc, ge)
-			for i := nd.First; i < nd.First+nd.Count; i++ {
-				orig := t.Order[i]
-				p := &sys.Particles[orig]
-				res := t.EvalVortexList(list, s.MAC, s.Theta, p.Pos, orig, pw, s.Dipole)
-				vel[orig] = res.U
-				stretch[orig] = s.Scheme.Stretch(res.Grad, p.Alpha)
-				local += res.Interactions
-			}
+			local += s.evalVortexGroup(t, sys, vel, stretch, pw, groups[gi], list)
 		}
 		PutInteractionList(list)
 		inter.Add(local)
 	})
 	s.interactions.Add(inter.Load())
+}
+
+// evalVortexGroup builds the interaction list of one target group into
+// list (reset first) and evaluates every particle of the group against
+// it, writing results by original index. Returns the interaction
+// count.
+func (s *Solver) evalVortexGroup(t *Tree, sys *particle.System, vel, stretch []vec.Vec3, pw kernel.Pairwise, g int32, list *InteractionList) int64 {
+	nd := &t.Nodes[g]
+	list.Reset()
+	gc, ge := t.GroupBounds(nd.First, nd.Count)
+	t.AppendInteractionList(list, s.MAC, s.Theta, int32(t.Root), gc, ge)
+	var local int64
+	for i := nd.First; i < nd.First+nd.Count; i++ {
+		orig := t.Order[i]
+		p := &sys.Particles[orig]
+		res := t.EvalVortexList(list, s.MAC, s.Theta, p.Pos, orig, pw, s.Dipole)
+		vel[orig] = res.U
+		stretch[orig] = s.Scheme.Stretch(res.Grad, p.Alpha)
+		local += res.Interactions
+	}
+	return local
+}
+
+// workerCount is the number of workers an n-item schedule would use —
+// the same clamping sched.Run applies.
+func (s *Solver) workerCount(n int) int {
+	w := s.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
 }
 
 // groupCap is the effective target-group size of the list evaluator.
@@ -156,11 +214,12 @@ func (s *Solver) Coulomb(sys *particle.System, eps float64, pot []float64, f []v
 		panic("tree: Coulomb output slices must have length N")
 	}
 	s.evals.Add(1)
-	t := BuildWithHook(s.Hook, sys, BuildConfig{LeafCap: s.LeafCap, Discipline: Coulomb})
+	t := BuildArenaWithHook(s.Hook, &s.arenaC, sys,
+		BuildConfig{LeafCap: s.LeafCap, Discipline: Coulomb, Layout: s.Layout})
 	s.LastTree = t
-	var inter atomic.Int64
 	if s.Traversal == TraversalRecursive {
 		s.LastSched = sched.Stats{}
+		var inter atomic.Int64
 		s.parallelRange(n, func(lo, hi int) {
 			var local int64
 			for q := lo; q < hi; q++ {
@@ -174,28 +233,47 @@ func (s *Solver) Coulomb(sys *particle.System, eps float64, pot []float64, f []v
 		s.interactions.Add(inter.Load())
 		return
 	}
-	groups := t.Groups(s.groupCap())
+	s.groupsBuf = t.AppendGroups(s.groupsBuf[:0], s.groupCap())
+	groups := s.groupsBuf
+	if s.workerCount(len(groups)) == 1 {
+		t0 := telemetry.Wall()
+		var local int64
+		for _, g := range groups {
+			local += s.evalCoulombGroup(t, sys, eps, pot, f, g, &s.scratchList)
+		}
+		s.busyBuf[0] = telemetry.Wall() - t0
+		s.LastSched = sched.Stats{Workers: 1, Busy: s.busyBuf[:]}
+		s.interactions.Add(local)
+		return
+	}
+	var inter atomic.Int64
 	s.LastSched = sched.Run(s.Workers, len(groups), s.StealGrain, func(_, lo, hi int) {
 		list := GetInteractionList()
 		var local int64
 		for gi := lo; gi < hi; gi++ {
-			g := groups[gi]
-			nd := &t.Nodes[g]
-			list.Reset()
-			gc, ge := t.GroupBounds(nd.First, nd.Count)
-			t.AppendInteractionList(list, MACBarnesHut, s.Theta, int32(t.Root), gc, ge)
-			for i := nd.First; i < nd.First+nd.Count; i++ {
-				orig := t.Order[i]
-				res := t.EvalCoulombList(list, s.Theta, eps, sys.Particles[orig].Pos, orig)
-				pot[orig] = res.Phi
-				f[orig] = res.E
-				local += res.Interactions
-			}
+			local += s.evalCoulombGroup(t, sys, eps, pot, f, groups[gi], list)
 		}
 		PutInteractionList(list)
 		inter.Add(local)
 	})
 	s.interactions.Add(inter.Load())
+}
+
+// evalCoulombGroup is evalVortexGroup for the Coulomb discipline.
+func (s *Solver) evalCoulombGroup(t *Tree, sys *particle.System, eps float64, pot []float64, f []vec.Vec3, g int32, list *InteractionList) int64 {
+	nd := &t.Nodes[g]
+	list.Reset()
+	gc, ge := t.GroupBounds(nd.First, nd.Count)
+	t.AppendInteractionList(list, MACBarnesHut, s.Theta, int32(t.Root), gc, ge)
+	var local int64
+	for i := nd.First; i < nd.First+nd.Count; i++ {
+		orig := t.Order[i]
+		res := t.EvalCoulombList(list, s.Theta, eps, sys.Particles[orig].Pos, orig)
+		pot[orig] = res.Phi
+		f[orig] = res.E
+		local += res.Interactions
+	}
+	return local
 }
 
 func (s *Solver) parallelRange(n int, fn func(lo, hi int)) {

@@ -162,6 +162,9 @@ func (t *Tree) VortexAtNode(start int, x vec.Vec3, theta float64, skipOrig int, 
 // VortexAtNodeMAC is VortexAtNode with a selectable acceptance
 // criterion (reference [30] variants).
 func (t *Tree) VortexAtNodeMAC(mac MACKind, start int, x vec.Vec3, theta float64, skipOrig int, pw kernel.Pairwise, useDipole bool) VortexResult {
+	if t.Lanes != nil {
+		return t.vortexAtNodeSoA(mac, start, x, theta, skipOrig, pw, useDipole)
+	}
 	var res VortexResult
 	t.AccumVortexWalk(&res, mac, int32(start), x, theta, skipOrig, pw, useDipole)
 	return res
@@ -288,6 +291,9 @@ func (t *Tree) CoulombAt(x vec.Vec3, theta, eps float64, skipOrig int) CoulombRe
 // CoulombAtNode is CoulombAt restricted to the subtree rooted at the
 // given node index.
 func (t *Tree) CoulombAtNode(start int, x vec.Vec3, theta, eps float64, skipOrig int) CoulombResult {
+	if t.Lanes != nil {
+		return t.coulombAtNodeSoA(start, x, theta, eps, skipOrig)
+	}
 	var res CoulombResult
 	t.AccumCoulombWalk(&res, int32(start), x, theta, eps, skipOrig)
 	return res

@@ -2,7 +2,6 @@ package tree
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/particle"
 	"repro/internal/vec"
@@ -67,12 +66,31 @@ type Tree struct {
 	Order []int
 	Keys  []uint64 // keys parallel to Order
 
+	// Lanes, in the SoA layout, is the struct-of-arrays mirror of the
+	// system gathered under Order: lane i holds particle Order[i], so
+	// every node's [First, First+Count) range is a contiguous run of
+	// all lanes. Nil in the AoS layout.
+	Lanes *particle.SoA
+
 	sys        *particle.System
 	discipline Discipline
 	leafCap    int
 	ownedLo    uint64
 	ownedHi    uint64
 	ownedSet   bool
+	// sortedPos is the inverse of Order (sortedPos[Order[i]] = i),
+	// built only in the SoA layout to translate a skip target's
+	// original index into its lane.
+	sortedPos []int32
+}
+
+// SortedPos returns the sorted position (= SoA lane) of the particle
+// with the given original index, or -1 when the tree carries no lanes.
+func (t *Tree) SortedPos(orig int) int {
+	if len(t.sortedPos) == 0 {
+		return -1
+	}
+	return int(t.sortedPos[orig])
 }
 
 // BuildConfig controls tree construction.
@@ -92,53 +110,18 @@ type BuildConfig struct {
 	// boundary, which makes every leaf eligible as a branch node.
 	OwnedLo, OwnedHi uint64
 	OwnedSet         bool
+	// Layout selects the evaluation storage: LayoutSoA additionally
+	// gathers a struct-of-arrays mirror of the sorted particles so the
+	// batched near/far kernels stream lanes linearly. LayoutAoS (the
+	// zero value) keeps the historical reference layout.
+	Layout particle.Layout
 }
 
-// Build constructs the oct-tree for the system.
+// Build constructs the oct-tree for the system. It is BuildInto over a
+// fresh arena; evaluators that rebuild every step hold a persistent
+// Arena instead so steady-state builds allocate nothing.
 func Build(sys *particle.System, cfg BuildConfig) *Tree {
-	if cfg.LeafCap < 1 {
-		cfg.LeafCap = 1
-	}
-	n := sys.N()
-	if n == 0 {
-		panic("tree: Build on empty system")
-	}
-	lo, hi := sys.Bounds()
-	dom := NewDomain(lo, hi)
-	if cfg.Domain != nil {
-		dom = *cfg.Domain
-	}
-	t := &Tree{
-		Domain:     dom,
-		Order:      make([]int, n),
-		Keys:       make([]uint64, n),
-		sys:        sys,
-		discipline: cfg.Discipline,
-		leafCap:    cfg.LeafCap,
-		ownedLo:    cfg.OwnedLo,
-		ownedHi:    cfg.OwnedHi,
-		ownedSet:   cfg.OwnedSet,
-	}
-	for i := 0; i < n; i++ {
-		t.Order[i] = i
-	}
-	keyOf := make([]uint64, n)
-	for i, p := range sys.Particles {
-		keyOf[i] = t.Domain.Key(p.Pos)
-	}
-	sort.Slice(t.Order, func(a, b int) bool {
-		ka, kb := keyOf[t.Order[a]], keyOf[t.Order[b]]
-		if ka != kb {
-			return ka < kb
-		}
-		return t.Order[a] < t.Order[b]
-	})
-	for i, idx := range t.Order {
-		t.Keys[i] = keyOf[idx]
-	}
-	t.Nodes = make([]Node, 0, 2*n)
-	t.Root = t.build(0, n, 0, 0)
-	return t
+	return BuildInto(new(Arena), sys, cfg)
 }
 
 // build creates the node covering sorted particles [first, first+count)

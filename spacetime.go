@@ -58,6 +58,11 @@ type SpaceTimeConfig struct {
 	// claim) of the hybrid list traversal; ≤0 selects an automatic
 	// grain.
 	StealGrain int
+	// Layout selects the particle storage of the evaluation hot path:
+	// "" or "soa" for the Morton-gathered struct-of-arrays lanes with
+	// batched kernels (the default), "aos" for the array-of-structs
+	// reference path. Results are bitwise equal (DESIGN.md §14).
+	Layout string
 	// Modeled enables the Blue Gene/P virtual clocks; ModeledSeconds of
 	// the result is then meaningful.
 	Modeled bool
@@ -174,6 +179,11 @@ func RunSpaceTime(cfg SpaceTimeConfig, sys *System, t0, t1 float64, nsteps int) 
 	}
 	ccfg.Traversal = trav
 	ccfg.StealGrain = cfg.StealGrain
+	layout, err := particle.ParseLayout(cfg.Layout)
+	if err != nil {
+		return nil, SpaceTimeStats{}, err
+	}
+	ccfg.Layout = layout
 	var model machine.CostModel
 	if cfg.Modeled {
 		model = machine.BlueGeneP()
