@@ -1,0 +1,68 @@
+package nbody
+
+// Façade-level load-balancing tests (the Balance knob): rebalancing
+// must be deterministic — two identical runs stay bitwise equal even
+// though the decomposition now feeds back the previous evaluation's
+// work weights — and it must actually help, shrinking the reported
+// heaviest/lightest work ratio on a clustered distribution.
+
+import (
+	"testing"
+
+	"repro/internal/hot"
+)
+
+// clusteredBlob packs 85% of a random blob into one corner so the
+// uniform Morton-range decomposition serializes on the dense ranks.
+func clusteredBlob(n int, seed int64) *System {
+	sys := RandomBlob(n, 0.2, seed)
+	dense := int(float64(n) * 0.85)
+	for i := 0; i < dense; i++ {
+		p := &sys.Particles[i]
+		p.Pos = Vec3{X: 0.05 * p.Pos.X, Y: 0.05 * p.Pos.Y, Z: 0.05 * p.Pos.Z}
+	}
+	return sys
+}
+
+func TestFacadeBalanceDeterministic(t *testing.T) {
+	sys := clusteredBlob(240, 61)
+	run := func() *System {
+		cfg := DefaultSpaceTime(2, 4)
+		cfg.Balance = true
+		out, _, err := RunSpaceTime(cfg, sys, 0, 0.2, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a.Particles {
+		if a.Particles[i] != b.Particles[i] {
+			t.Fatalf("balanced run not deterministic: particle %d differs between identical runs", i)
+		}
+	}
+}
+
+func TestFacadeBalanceShrinksImbalance(t *testing.T) {
+	sys := clusteredBlob(1200, 61)
+	imbalance := func(balance bool) float64 {
+		cfg := DefaultSpaceTime(1, 4)
+		cfg.Balance = balance
+		cfg.Telemetry = true
+		_, stats, err := RunSpaceTime(cfg, sys, 0, 0.1, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stats.Run.Gauges[hot.GaugeImbalance]
+	}
+	uniform := imbalance(false)
+	balanced := imbalance(true)
+	if uniform < 1.1 {
+		t.Skipf("workload not imbalanced enough to test (%.2f)", uniform)
+	}
+	if balanced >= uniform {
+		t.Fatalf("balancing did not shrink the work ratio: %.3f (balanced) vs %.3f (uniform)",
+			balanced, uniform)
+	}
+	t.Logf("heaviest/lightest work ratio: uniform %.3f → balanced %.3f", uniform, balanced)
+}

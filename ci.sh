@@ -74,6 +74,20 @@ go test -race -count=1 -timeout 10m \
 # parser — malformed specs must surface as errors, never panics.
 go test -run '^$' -fuzz FuzzParseMem -fuzztime 10s ./internal/fault/
 
+# Scaling lane: the joint space-time study at lane scale under the race
+# detector — the executed 8-rank PSxPT grid (both branch exchange
+# modes) plus the modeled grid up to 4096 ranks, asserting the Fig. 5 x
+# Fig. 8 crossover shape: beyond spatial saturation the best PT>1
+# layout beats space-only, and the batched exchange beats the ring.
+go test -race -count=1 -timeout 10m -run 'ScalingLane' .
+
+# Docs gate: SCALING.md is executable documentation — every
+# `go run ./cmd/experiments ...` command it quotes must parse (-list
+# validates -fig/-exp and exits before running anything).
+grep -oE 'go run \./cmd/experiments[^`]*' SCALING.md | sort -u | while read -r cmd; do
+  $cmd -list >/dev/null
+done
+
 # Lint-infrastructure fuzz smoke: the ignore-directive parser (a
 # malformed directive must suppress nothing) and the -json emitter
 # (always a valid array, never a panic).

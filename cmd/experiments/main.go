@@ -12,6 +12,10 @@
 //	experiments -exp chaos -faultseed 7 -faultplan "drop=0.1,crash=2@iter:1"  # custom crash plan
 //	experiments -exp sdcguard   # bit-flip guard matrix (writes BENCH_PR4.json; not part of "all")
 //	experiments -exp sdcguard -flipseed 7 -fliprate 1e-3  # custom sweep seed and per-word rate
+//	experiments -exp fig5-xt    # joint space-time scaling study (writes BENCH_PR7.json; not part of "all")
+//	experiments -branch batched -exp phases       # batched branch exchange (prefetch visible)
+//	experiments -balance -exp phases              # work-weighted domain decomposition
+//	experiments -list           # validate -fig/-exp and list the known names, run nothing
 //	experiments -traversal recursive -exp phases  # per-particle walk instead of interaction lists
 //	experiments -stealgrain 4 -exp phases         # work-stealing chunk size (leaf groups)
 //	experiments -threads 4 -exp phases            # hybrid per-rank worker pool (steals visible)
@@ -30,6 +34,7 @@ import (
 	"strings"
 
 	"repro/internal/experiments"
+	"repro/internal/hot"
 	"repro/internal/telemetry"
 	"repro/internal/tree"
 )
@@ -39,7 +44,7 @@ func main() {
 	log.SetPrefix("experiments: ")
 	var (
 		fig        = flag.String("fig", "", "figure to regenerate: 1, 5, 7a, 7b, 8 (empty = all)")
-		exp        = flag.String("exp", "", "extra experiment: theta-ratio, residuals, speedup-model, ablations, phases, bench-pr2, bench-pr6, chaos")
+		exp        = flag.String("exp", "", "extra experiment: theta-ratio, residuals, speedup-model, ablations, phases, bench-pr2, bench-pr6, chaos, sdcguard, fig5-xt")
 		faultSeed  = flag.Int64("faultseed", 42, "fault-plan seed of the chaos experiment")
 		faultPlan  = flag.String("faultplan", "", "override the chaos experiment's crash plan (fault.Parse spec)")
 		chaosOut   = flag.String("chaosout", "BENCH_PR3.json", "output path of the chaos record")
@@ -49,8 +54,12 @@ func main() {
 		traversal  = flag.String("traversal", "", `tree traversal mode: "list" (default) or "recursive"`)
 		stealGrain = flag.Int("stealgrain", 0, "work-stealing chunk size in leaf groups (0 = automatic)")
 		threads    = flag.Int("threads", 0, "traversal worker goroutines per rank (>1 = hybrid scheduler; phases experiment)")
+		branch     = flag.String("branch", "", `branch exchange mode: "ring" (default) or "batched" (phases experiment)`)
+		balance    = flag.Bool("balance", false, "work-weighted domain decomposition (phases experiment)")
+		list       = flag.Bool("list", false, "validate -fig/-exp, list the known names, and exit without running")
 		benchOut   = flag.String("benchout", "BENCH_PR2.json", "output path of the bench-pr2 record")
 		bench6Out  = flag.String("bench6-out", "BENCH_PR6.json", "output path of the bench-pr6 record")
+		xtOut      = flag.String("xt-out", "BENCH_PR7.json", "output path of the fig5-xt record")
 		csvDir     = flag.String("csv", "", "directory for CSV output")
 		jsonDir    = flag.String("json", "", "directory for telemetry snapshot JSON output")
 		paper      = flag.Bool("paper", false, "use the paper's exact sizes where implemented (very slow)")
@@ -62,6 +71,37 @@ func main() {
 	trav, err := tree.ParseTraversal(*traversal)
 	if err != nil {
 		log.Fatal(err)
+	}
+	brm, err := hot.ParseBranchMode(*branch)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Known names: every -fig/-exp value must be one of these. Unknown
+	// names are configuration errors, not silent no-ops; -list performs
+	// only this validation (the CI docs gate appends it to every command
+	// quoted in SCALING.md to keep the handbook honest).
+	figs := []string{"1", "5", "7a", "7b", "8"}
+	exps := []string{"theta-ratio", "residuals", "speedup-model", "ablations",
+		"phases", "bench-pr2", "bench-pr6", "chaos", "sdcguard", "fig5-xt"}
+	known := func(name string, set []string) bool {
+		for _, s := range set {
+			if strings.EqualFold(name, s) {
+				return true
+			}
+		}
+		return false
+	}
+	if *fig != "" && !known(*fig, figs) {
+		log.Fatalf("unknown -fig %q (known: %s)", *fig, strings.Join(figs, ", "))
+	}
+	if *exp != "" && !known(*exp, exps) {
+		log.Fatalf("unknown -exp %q (known: %s)", *exp, strings.Join(exps, ", "))
+	}
+	if *list {
+		fmt.Printf("figures: %s\n", strings.Join(figs, ", "))
+		fmt.Printf("experiments: %s\n", strings.Join(exps, ", "))
+		return
 	}
 
 	telemetry.SetPprofLabels(*labels)
@@ -142,6 +182,8 @@ func main() {
 		pcfg.Traversal = trav
 		pcfg.StealGrain = *stealGrain
 		pcfg.Threads = *threads
+		pcfg.Branch = brm
+		pcfg.Balance = *balance
 		snap, tb := experiments.SpaceTimePhases(pcfg)
 		emit("spacetime_phases", tb)
 		emitJSON("spacetime_phases", snap)
@@ -168,6 +210,21 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("wrote %s\n\n", *bench6Out)
+	}
+	// fig5-xt is opt-in only (minutes of wall time): the joint space-time
+	// scaling study — executed branch-exchange before/after, the executed
+	// PS×PT grid, and the modeled extrapolation to 262,144 cores — and
+	// records BENCH_PR7.json (see SCALING.md).
+	if strings.EqualFold(*exp, "fig5-xt") {
+		res, tbs := experiments.BenchPR7(experiments.DefaultFig5XT())
+		names := []string{"fig5xt_branch", "fig5xt_grid", "fig5xt_model", "fig5xt_crossover"}
+		for i, tb := range tbs {
+			emit(names[i], tb)
+		}
+		if err := res.WriteJSON(*xtOut); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n\n", *xtOut)
 	}
 	// chaos is opt-in only: it runs the space-time solver through a
 	// seeded fault matrix (clean, transient chaos, rank crash) on the

@@ -171,6 +171,21 @@ type Config struct {
 	// struct-of-arrays kernels, particle.LayoutAoS the reference path.
 	// Results are bitwise equal either way (DESIGN.md §14).
 	Layout particle.Layout
+	// Balance enables cross-rank dynamic load balancing: every force
+	// evaluation routes per-particle interaction counts back to the
+	// particles' owners, and the next evaluation's sample-sort
+	// splitters are placed at equal-work (not equal-count) quantiles —
+	// the work-sharing rebalancing of Becciani et al., applied to the
+	// Morton-range decomposition between steps. Off by default: the
+	// interaction-count history is the only state carried across
+	// evaluations, so disabling it keeps redo-after-rollback bitwise
+	// reproducible for the guard layer.
+	Balance bool
+	// Branch selects the branch-node exchange algorithm of every
+	// level's tree solver: hot.BranchRing (zero value) or
+	// hot.BranchBatched (batched, MAC-pruned, overlapped — DESIGN.md
+	// §15). Results are bitwise identical either way.
+	Branch hot.BranchMode
 	// Model, when non-nil, drives the virtual clocks.
 	Model *machine.CostModel
 	// Tel, when non-nil, collects this world rank's telemetry (tree
@@ -187,8 +202,11 @@ type Config struct {
 	// recovery ladder (package guard). When Enabled, every rank gets a
 	// private guard wired into its tree builds (ABFT moment checks)
 	// and its PFASST time loop (state checksum, block-end monitors).
-	// Like the recovery ladder's collective decisions, it requires
-	// PS = 1 (enforced by the façade).
+	// Works at any PS: with PS > 1 the ladder's verdicts are agreed
+	// collectively over the spatial communicator and the invariant
+	// monitors compare global sums (DESIGN.md §15). Combining Guard
+	// with Resilience.Enabled still requires PS = 1 (enforced by the
+	// façade).
 	Guard guard.Policy
 }
 
@@ -249,6 +267,11 @@ func RunSpaceTime(world *mpi.Comm, cfg Config, full *particle.System, t0, t1 flo
 	var grd *guard.Guard
 	if cfg.Guard.Enabled {
 		grd = guard.New(cfg.Guard, world.Rank(), cfg.Tel)
+		// With PS > 1 the ladder's redo/rollback/abort verdicts are
+		// agreed over the spatial communicator and the invariant
+		// monitors see global sums; with PS = 1 AttachSpace is a no-op
+		// and the guard behaves exactly as before.
+		grd.AttachSpace(spaceComm)
 	}
 	levels := cfg.Levels
 	if len(levels) == 0 {
@@ -264,8 +287,10 @@ func RunSpaceTime(world *mpi.Comm, cfg Config, full *particle.System, t0, t1 flo
 			Sm: cfg.Sm, Scheme: cfg.Scheme, Theta: l.Theta,
 			LeafCap: cfg.LeafCap, Dipole: cfg.Dipole, Model: cfg.Model, Threads: cfg.Threads,
 			Traversal: cfg.Traversal, StealGrain: cfg.StealGrain,
-			Layout: cfg.Layout,
-			Tel:    cfg.Tel,
+			Layout:          cfg.Layout,
+			WeightedBalance: cfg.Balance,
+			Branch:          cfg.Branch,
+			Tel:             cfg.Tel,
 		}
 		if grd != nil {
 			hcfg.Hook = grd
@@ -317,8 +342,10 @@ func RunSpaceSerialSDC(spaceComm *mpi.Comm, cfg Config, local *particle.System,
 		Sm: cfg.Sm, Scheme: cfg.Scheme, Theta: cfg.ThetaFine,
 		LeafCap: cfg.LeafCap, Dipole: cfg.Dipole, Model: cfg.Model, Threads: cfg.Threads,
 		Traversal: cfg.Traversal, StealGrain: cfg.StealGrain,
-		Layout: cfg.Layout,
-		Tel:    cfg.Tel,
+		Layout:          cfg.Layout,
+		WeightedBalance: cfg.Balance,
+		Branch:          cfg.Branch,
+		Tel:             cfg.Tel,
 	})
 	sys := NewDistVortexSystem(local, solver)
 	sys.Instrument(cfg.Tel, 0)

@@ -26,6 +26,11 @@ type PhasesConfig struct {
 	// communication goroutine), the path where hot.steals and
 	// hot.worker_busy are recorded.
 	Threads int
+	// Branch selects the branch-node exchange (hot.BranchBatched makes
+	// hot.prefetched visible and zeroes hot.fetches); Balance enables
+	// the work-weighted decomposition.
+	Branch  hot.BranchMode
+	Balance bool
 }
 
 // DefaultPhases returns a small PFASST(2,2,2)×2 run.
@@ -48,6 +53,8 @@ func SpaceTimePhases(cfg PhasesConfig) (telemetry.Snapshot, *Table) {
 	if cfg.Threads > 0 {
 		ccfg.Threads = cfg.Threads
 	}
+	ccfg.Branch = cfg.Branch
+	ccfg.Balance = cfg.Balance
 	var merged telemetry.Snapshot
 	var mu sync.Mutex
 	err := mpi.Run(cfg.PT*cfg.PS, func(w *mpi.Comm) error {
@@ -78,7 +85,8 @@ func SpaceTimePhases(cfg PhasesConfig) (telemetry.Snapshot, *Table) {
 		pfasst.CounterFineSweeps, pfasst.CounterCoarseSweeps,
 		"core.evals.level0", "core.evals.level1",
 		hot.CounterInteractions, hot.CounterMACAccepts, hot.CounterMACRejects,
-		hot.CounterFetches, hot.CounterSteals, mpi.CounterSends, mpi.CounterSendBytes,
+		hot.CounterFetches, hot.CounterPrefetched, hot.CounterSteals,
+		mpi.CounterSends, mpi.CounterSendBytes,
 	} {
 		tb.AddRow(name, f("%d", merged.Counter(name)), "", "")
 	}

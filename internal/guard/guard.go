@@ -20,6 +20,7 @@ import (
 	"math"
 
 	"repro/internal/fault"
+	"repro/internal/mpi"
 	"repro/internal/particle"
 	"repro/internal/telemetry"
 )
@@ -226,6 +227,11 @@ type Guard struct {
 	// flips detected but not yet confirmed recovered by a clean verify.
 	buildSeen   int
 	treePending int
+
+	// space, when non-nil, is the spatial communicator collective
+	// decisions run on (PS > 1): the invariant monitors switch to
+	// global sums and Agree becomes a spatial allreduce.
+	space *mpi.Comm
 }
 
 // New returns a guard for one rank. The registry may be nil (counters
@@ -247,6 +253,68 @@ func (g *Guard) Policy() Policy {
 		return Policy{}
 	}
 	return g.pol
+}
+
+// AttachSpace binds the spatial communicator the guard's collective
+// decisions run on. With PS = 1 (or no attachment) every decision
+// stays rank-local and bitwise identical to earlier guards-on runs;
+// with PS > 1 the invariant monitors compare global sums over the
+// spatial ranks and Agree folds verdicts collectively (DESIGN.md §15).
+func (g *Guard) AttachSpace(c *mpi.Comm) {
+	if g == nil || c == nil || c.Size() < 2 {
+		return
+	}
+	g.space = c
+}
+
+// Agree folds a rank-local verdict ("I saw a violation") into the
+// collective one: true when any spatial rank's verdict is true. The
+// recovery ladder's redo/rollback/abort decisions must be uniform
+// across the spatial communicator — a lone rank redoing a block would
+// deadlock the next collective force evaluation. Without an attached
+// spatial communicator the local verdict is returned unchanged, at
+// zero communication cost. Collective when attached: every spatial
+// rank must call it at the same decision point.
+func (g *Guard) Agree(local bool) bool {
+	if g == nil || g.space == nil {
+		return local
+	}
+	var x int64
+	if local {
+		x = 1
+	}
+	return g.space.AllreduceInt64([]int64{x}, mpi.OpMax)[0] != 0
+}
+
+// PeerViolation is the violation a rank adopts when Agree reports
+// corruption that its own detectors did not see: the collective
+// verdict redoes or aborts on every spatial rank, and each needs a
+// typed error wrapping ErrCorrupt to return.
+func (g *Guard) PeerViolation(monitor string, epoch int) *Violation {
+	rank := 0
+	if g != nil {
+		rank = g.rank
+	}
+	return &Violation{
+		Monitor: monitor,
+		Rank:    rank,
+		Epoch:   epoch,
+		Detail:  "spatial peer detected corruption (collective verdict)",
+	}
+}
+
+// diagnose returns the physics invariants of u — summed over the
+// spatial communicator when one is attached, since total circulation
+// and impulse are properties of the whole system, not of one rank's
+// particle share. Collective when attached.
+func (g *Guard) diagnose(u []float64) particle.StateInvariants {
+	inv := particle.DiagnoseState(u)
+	if g.space == nil {
+		return inv
+	}
+	global := g.space.AllreduceFloat64(inv.Floats(), mpi.OpSum)
+	out, _ := particle.InvariantsFromFloats(global)
+	return out
 }
 
 func (g *Guard) violation(monitor string, epoch int, format string, args ...any) *Violation {
@@ -274,7 +342,9 @@ func checksum(u []float64) uint64 {
 
 // CommitState protects u as the consistent state entering block epoch:
 // it records the checksum, refreshes the shadow copy, and on the first
-// call captures the reference invariants of the physics monitors.
+// call captures the reference invariants of the physics monitors
+// (global sums when a spatial communicator is attached — collective on
+// the first commit in that case).
 func (g *Guard) CommitState(u []float64, epoch int) {
 	if g == nil {
 		return
@@ -283,7 +353,7 @@ func (g *Guard) CommitState(u []float64, epoch int) {
 	g.shadow = append(g.shadow[:0], u...)
 	g.epoch = epoch
 	if !g.refSet {
-		g.ref = particle.DiagnoseState(u)
+		g.ref = g.diagnose(u)
 		g.refSet = true
 	}
 }
@@ -378,8 +448,14 @@ func (g *Guard) CheckBlockEnd(end []float64, block, injected int) *Violation {
 			}
 		}
 	}
-	if v == nil && g.refSet && len(end)%6 == 0 {
-		inv := particle.DiagnoseState(end)
+	// Invariant monitors compare against the first-commit reference.
+	// With an attached spatial communicator the invariants are global
+	// sums, and the allreduce inside diagnose must run on every spatial
+	// rank regardless of its local scan verdict (v may differ across
+	// ranks — the per-rank states differ), or ranks whose scans
+	// disagreed would deadlock in the collective.
+	if g.refSet && len(end)%6 == 0 && (v == nil || g.space != nil) {
+		inv := g.diagnose(end)
 		cd := relErr(
 			v3arr(inv.TotalCirculation.X, inv.TotalCirculation.Y, inv.TotalCirculation.Z),
 			v3arr(g.ref.TotalCirculation.X, g.ref.TotalCirculation.Y, g.ref.TotalCirculation.Z))
@@ -389,16 +465,18 @@ func (g *Guard) CheckBlockEnd(end []float64, block, injected int) *Violation {
 		ad := relErr(
 			v3arr(inv.AngularImpulse.X, inv.AngularImpulse.Y, inv.AngularImpulse.Z),
 			v3arr(g.ref.AngularImpulse.X, g.ref.AngularImpulse.Y, g.ref.AngularImpulse.Z))
-		switch {
-		case cd > g.pol.circTol():
-			v = g.violation("invariant-circulation", block,
-				"total circulation drifted %g (tol %g)", cd, g.pol.circTol())
-		case id > g.pol.impulseTol():
-			v = g.violation("invariant-impulse", block,
-				"linear impulse drifted %g (tol %g)", id, g.pol.impulseTol())
-		case ad > g.pol.angularTol():
-			v = g.violation("invariant-angular", block,
-				"angular impulse drifted %g (tol %g)", ad, g.pol.angularTol())
+		if v == nil {
+			switch {
+			case cd > g.pol.circTol():
+				v = g.violation("invariant-circulation", block,
+					"total circulation drifted %g (tol %g)", cd, g.pol.circTol())
+			case id > g.pol.impulseTol():
+				v = g.violation("invariant-impulse", block,
+					"linear impulse drifted %g (tol %g)", id, g.pol.impulseTol())
+			case ad > g.pol.angularTol():
+				v = g.violation("invariant-angular", block,
+					"angular impulse drifted %g (tol %g)", ad, g.pol.angularTol())
+			}
 		}
 	}
 	if v != nil {

@@ -81,6 +81,14 @@ type Config struct {
 	// computation and communication overlap. Values ≤ 1 select the
 	// synchronous single-threaded path.
 	Threads int
+	// Branch selects the branch-node exchange algorithm: BranchRing
+	// (the zero value) is the reference ring allgather with on-demand
+	// remote fetches; BranchBatched batches the exchange into ⌈log2 P⌉
+	// Bruck rounds, prunes and prefetches each receiver's essential
+	// cells ahead of the traversal, and overlaps the prefetch walks
+	// with the exchange (DESIGN.md §15). Results are bitwise identical
+	// either way.
+	Branch BranchMode
 	// Traversal selects the local evaluation strategy:
 	// tree.TraversalList (the default) amortizes one MAC walk per leaf
 	// group into near/far interaction lists and, in hybrid mode,
@@ -114,6 +122,7 @@ type Stats struct {
 	TotalBranches int   // branch nodes in the global tree
 	Interactions  int64 // MAC-accepted cells + direct particle pairs
 	Fetches       int64 // remote cell fetch requests issued
+	Prefetched    int64 // remote cells resolved up front by BranchBatched
 	Steals        int64 // work-stealing operations of the hybrid traversal
 
 	// MACAccepts and MACRejects split the traversal decisions: cells
@@ -224,6 +233,10 @@ type evalRT struct {
 	doneSeen int
 	stats    *Stats
 
+	// prefetchReplies holds the batched-exchange payloads between
+	// batchedBranchExchange and installPrefetch (BranchBatched only).
+	prefetchReplies [][]byte
+
 	// Hybrid (threaded) traversal state.
 	hybrid   bool
 	mu       sync.RWMutex             // guards cells and gcell children/parts
@@ -326,7 +339,7 @@ func (s *Solver) run(sys *particle.System, disc tree.Discipline, vel, stretch []
 			Discipline: disc,
 			Domain:     &dom,
 			OwnedLo:    myLo, OwnedHi: myHi, OwnedSet: true,
-			Layout:     s.cfg.Layout,
+			Layout: s.cfg.Layout,
 		})
 		if s.meter != nil {
 			comm.Advance(s.meter.TreeBuild(local.N()))
@@ -350,7 +363,12 @@ func (s *Solver) run(sys *particle.System, disc tree.Discipline, vel, stretch []
 	if s.meter != nil {
 		comm.Advance(s.meter.Branches(len(myBranches)))
 	}
-	allBranches := comm.Allgather(packed)
+	var allBranches [][]byte
+	if s.cfg.Branch == BranchBatched {
+		allBranches = rt.batchedBranchExchange(packed, myBranches)
+	} else {
+		allBranches = comm.Allgather(packed)
+	}
 	total := 0
 	for owner, raw := range allBranches {
 		for off := 0; off+cellRecBytes <= len(raw); off += cellRecBytes {
@@ -364,6 +382,7 @@ func (s *Solver) run(sys *particle.System, disc tree.Discipline, vel, stretch []
 		comm.Advance(s.meter.Branches(total))
 	}
 	rt.buildTop()
+	rt.installPrefetch()
 	t3 := clock()
 	st.TBranch = t3 - t2
 	s.probe.branch.Observe(st.TBranch)
@@ -923,10 +942,19 @@ func (rt *evalRT) serveReq(src int, data []byte) {
 	if idx < 0 {
 		panic(fmt.Sprintf("hot: request for unknown cell %x", pkey))
 	}
+	rt.comm.Send(src, tagReply, rt.cellReply(idx))
+}
+
+// cellReply builds the fetch-reply record for local cell idx: header
+// (pkey, child count), child cells, and the inline particles of leaf
+// children (or of the cell itself when it is a leaf). The batched
+// branch exchange ships these exact bytes ahead of time, which is what
+// keeps BranchBatched bitwise identical to the on-demand path.
+func (rt *evalRT) cellReply(idx int) []byte {
 	nd := &rt.ltree.Nodes[idx]
 	var out []byte
 	var hdr [16]byte
-	binary.LittleEndian.PutUint64(hdr[0:], pkey)
+	binary.LittleEndian.PutUint64(hdr[0:], nd.PKey())
 	if nd.Leaf {
 		binary.LittleEndian.PutUint64(hdr[8:], 0) // zero children = leaf reply
 		out = append(out, hdr[:]...)
@@ -959,7 +987,7 @@ func (rt *evalRT) serveReq(src int, data []byte) {
 			}
 		}
 	}
-	rt.comm.Send(src, tagReply, out)
+	return out
 }
 
 // applyReply installs the children (or inline particles) delivered for

@@ -21,6 +21,10 @@ const (
 	CounterMACRejects   = "hot.mac_rejects"
 	CounterP2P          = "hot.p2p"
 	CounterFetches      = "hot.fetches"
+	// CounterPrefetched counts remote cells resolved up front by the
+	// batched branch exchange (BranchBatched); each one is a fetch
+	// round-trip the traversal did not pay.
+	CounterPrefetched = "hot.prefetched"
 	// CounterSteals counts successful work-stealing operations of the
 	// hybrid traversal's scheduler (zero in synchronous or recursive
 	// mode). Deliberately NOT part of the determinism regression: the
@@ -44,7 +48,7 @@ type probe struct {
 	decomp, build, branch, traverse *telemetry.Timer
 	workerBusy                      *telemetry.Timer
 
-	evals, interactions, macAccepts, macRejects, p2p, fetches, steals *telemetry.Counter
+	evals, interactions, macAccepts, macRejects, p2p, fetches, prefetched, steals *telemetry.Counter
 
 	nlocal, branchesTotal, imbalance *telemetry.Gauge
 }
@@ -62,6 +66,7 @@ func newProbe(reg *telemetry.Registry) probe {
 		macRejects:    reg.Counter(CounterMACRejects),
 		p2p:           reg.Counter(CounterP2P),
 		fetches:       reg.Counter(CounterFetches),
+		prefetched:    reg.Counter(CounterPrefetched),
 		steals:        reg.Counter(CounterSteals),
 		nlocal:        reg.Gauge(GaugeNLocal),
 		branchesTotal: reg.Gauge(GaugeBranchesTotal),
@@ -78,6 +83,7 @@ func (pb *probe) record(st *Stats) {
 	pb.macRejects.Add(st.MACRejects)
 	pb.p2p.Add(st.Interactions - st.MACAccepts)
 	pb.fetches.Add(st.Fetches)
+	pb.prefetched.Add(st.Prefetched)
 	pb.steals.Add(st.Steals)
 	pb.nlocal.Set(float64(st.NLocal))
 	pb.branchesTotal.Set(float64(st.TotalBranches))

@@ -612,6 +612,71 @@ func (c *Comm) Allgather(data []byte) [][]byte {
 	return out
 }
 
+// AllgatherBatched gathers every rank's block on every rank like
+// Allgather, but with the Bruck algorithm: ⌈log2 P⌉ rounds, each
+// sending the accumulated blocks as ONE batched message to a partner
+// at doubling distance. The result is identical to Allgather; only the
+// message pattern differs. On the virtual clock the chained rounds
+// cost ⌈log2 P⌉ latencies instead of the ring's P−1, while the total
+// byte volume stays ≈ the same — this is the batched branch-node
+// exchange of the parallel tree code (DESIGN.md §15).
+func (c *Comm) AllgatherBatched(data []byte) [][]byte {
+	return c.AllgatherBatchedOverlap(data, nil)
+}
+
+// AllgatherBatchedOverlap is AllgatherBatched with an overlap hook:
+// when non-nil, overlap runs after the first round's send has been
+// posted and before the first receive. A rank can therefore do local
+// work (advancing its virtual clock) while the round-0 messages of
+// all ranks are in flight — compute/communication overlap that the
+// virtual clock honors, because a receive only synchronizes the
+// receiver's clock forward (max of own clock and arrival time).
+func (c *Comm) AllgatherBatchedOverlap(data []byte, overlap func()) [][]byte {
+	p := c.Size()
+	out := make([][]byte, p)
+	out[c.rank] = append([]byte(nil), data...)
+	if p == 1 {
+		if overlap != nil {
+			overlap()
+		}
+		return out
+	}
+	defer c.probe().timer(collAllgather).Start().Stop()
+	tag := c.collTag(7)
+	// blocks[d] is the block of rank (c.rank+d) mod p; after round r
+	// the caller holds distances [0, 2^(r+1)) (clamped to p).
+	blocks := map[int][]byte{0: data}
+	first := true
+	for k := 1; k < p; k <<= 1 {
+		dst := (c.rank - k + p) % p
+		src := (c.rank + k) % p
+		cnt := k
+		if p-k < cnt {
+			cnt = p - k
+		}
+		send := make(map[int][]byte, cnt)
+		for d := 0; d < cnt; d++ {
+			send[d] = blocks[d]
+		}
+		c.send(dst, tag, encodeBlocks(send))
+		if first {
+			first = false
+			if overlap != nil {
+				overlap()
+			}
+		}
+		raw, _, _ := c.recv(src, tag)
+		got := decodeBlocks(raw)
+		for d := 0; d < cnt; d++ {
+			blocks[k+d] = got[d]
+		}
+	}
+	for d := 1; d < p; d++ {
+		out[(c.rank+d)%p] = blocks[d]
+	}
+	return out
+}
+
 // Alltoall delivers data[i] to rank i and returns the blocks received
 // from every rank (out[j] = block sent by rank j). data must have one
 // entry per rank.

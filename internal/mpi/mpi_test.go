@@ -213,6 +213,75 @@ func TestAllgather(t *testing.T) {
 	}
 }
 
+func TestAllgatherBatchedMatchesRing(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 5, 7, 8} {
+		err := Run(p, func(c *Comm) error {
+			// Varied per-rank payload sizes, including empty blocks.
+			data := make([]byte, c.Rank()*3%7)
+			for i := range data {
+				data[i] = byte(c.Rank()*31 + i)
+			}
+			ring := c.Allgather(data)
+			bat := c.AllgatherBatched(data)
+			for r := 0; r < p; r++ {
+				if !bytes.Equal(ring[r], bat[r]) {
+					return fmt.Errorf("rank %d block %d: ring %v != batched %v", c.Rank(), r, ring[r], bat[r])
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+	}
+}
+
+func TestAllgatherBatchedOverlapHook(t *testing.T) {
+	for _, p := range []int{1, 2, 6} {
+		err := Run(p, func(c *Comm) error {
+			calls := 0
+			out := c.AllgatherBatchedOverlap([]byte{byte(c.Rank())}, func() { calls++ })
+			if calls != 1 {
+				return fmt.Errorf("overlap hook ran %d times, want 1", calls)
+			}
+			for r := 0; r < p; r++ {
+				if len(out[r]) != 1 || out[r][0] != byte(r) {
+					return fmt.Errorf("out[%d] = %v", r, out[r])
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+	}
+}
+
+// TestAllgatherBatchedModeledLatency checks the point of the Bruck
+// variant: on the virtual clock the chained rounds cost ⌈log2 P⌉
+// latencies instead of the ring's P−1, so at larger P with small
+// payloads the batched collective must finish strictly earlier.
+func TestAllgatherBatchedModeledLatency(t *testing.T) {
+	const p = 32
+	ringVT, err := RunTimed(p, BlueGeneP(), func(c *Comm) error {
+		c.Allgather([]byte{byte(c.Rank())})
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batVT, err := RunTimed(p, BlueGeneP(), func(c *Comm) error {
+		c.AllgatherBatched([]byte{byte(c.Rank())})
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batVT >= ringVT {
+		t.Fatalf("batched allgather modeled time %v not below ring %v at p=%d", batVT, ringVT, p)
+	}
+}
+
 func TestAlltoall(t *testing.T) {
 	for _, p := range []int{1, 2, 4, 5} {
 		err := Run(p, func(c *Comm) error {

@@ -19,10 +19,18 @@ import (
 //     MaxRecompute times before returning the typed Violation.
 //
 // Every decision is taken on data all time ranks hold identically
-// (the fault plan's hash excludes the rank), so the ladder needs no
-// extra agreement rounds: ranks redo and commit in lockstep. A redo
-// truncates the per-block Result records appended by the rejected
-// attempt; sweep counters keep the redone work, which really ran.
+// (the fault plan's hash excludes the rank), so across the TIME
+// communicator the ladder needs no extra agreement rounds: ranks redo
+// and commit in lockstep. Across an attached SPATIAL communicator the
+// per-rank states differ, so every verdict passes through Guard.Agree
+// (a spatial allreduce; the identity with PS = 1) — ranks that saw no
+// local violation adopt a PeerViolation and follow the collective
+// redo or abort. Time slices stay consistent because each spatial
+// index holds identical state and flips in every slice, making the
+// spatial verdict set — and hence the agreement result — identical
+// across slices. A redo truncates the per-block Result records
+// appended by the rejected attempt; sweep counters keep the redone
+// work, which really ran.
 func runGuarded(comm *mpi.Comm, cfg Config, levels []*level, t0, t1 float64, nsteps int, u0 []float64, res *Result, pb *probe) error {
 	g := cfg.Guard
 	p := comm.Size()
@@ -31,14 +39,20 @@ func runGuarded(comm *mpi.Comm, cfg Config, levels []*level, t0, t1 float64, nst
 	blocks := nsteps / p
 
 	u := append([]float64(nil), u0...)
-	if v := g.ValidateState(u, "initial state", 0); v != nil {
+	if v := g.ValidateState(u, "initial state", 0); g.Agree(v != nil) {
+		if v == nil {
+			v = g.PeerViolation("initial-state", 0)
+		}
 		g.RecordAbort()
 		return v
 	}
 	g.CommitState(u, 0)
 
 	for b := 0; b < blocks; b++ {
-		if v := g.ScrubState(u); v != nil {
+		if v := g.ScrubState(u); g.Agree(v != nil) {
+			if v == nil {
+				v = g.PeerViolation("state-checksum", b)
+			}
 			return v
 		}
 		tn := t0 + (float64(b*p)+float64(rank))*dt
@@ -54,15 +68,21 @@ func runGuarded(comm *mpi.Comm, cfg Config, levels []*level, t0, t1 float64, nst
 			g.CheckResidual(b, res.Residuals[len(res.Residuals)-1]) // advisory, rank-local
 			inj := g.InjectBlockEnd(end, b, attempt)
 			v := g.CheckBlockEnd(end, b, inj)
-			if v == nil {
+			if !g.Agree(v != nil) {
 				g.RecordRecovered(pending)
 				u = end
 				break
 			}
-			if inj > 0 {
-				pending += inj
+			if v != nil {
+				// Only locally detected flips enter the pending count:
+				// detected and recovered stay balanced per rank.
+				if inj > 0 {
+					pending += inj
+				} else {
+					pending++
+				}
 			} else {
-				pending++
+				v = g.PeerViolation("block-end", b)
 			}
 			if attempt >= g.Policy().MaxRecomputeN() {
 				g.RecordAbort()

@@ -6,6 +6,7 @@ package nbody
 // tolerance; misconfigurations must be rejected up front.
 
 import (
+	"errors"
 	"testing"
 )
 
@@ -100,11 +101,19 @@ func TestFacadeRejectsBadResilienceConfigs(t *testing.T) {
 	if _, _, err := RunSpaceTime(cfg, sys, 0, 0.1, 2); err == nil {
 		t.Fatal("crash plan without Resilience.Enabled accepted")
 	}
-	// Crash recovery needs PS=1 (spatial ranks have no redundancy).
+	// Crash recovery needs PS=1 (spatial ranks have no redundancy):
+	// rejected up front with the typed capability sentinel.
 	cfg = chaosConfig(2, 2)
 	cfg.Resilience.FaultPlan = "crash=0@block:0"
-	if _, _, err := RunSpaceTime(cfg, sys, 0, 0.1, 2); err == nil {
-		t.Fatal("crash plan with PS>1 accepted")
+	if _, _, err := RunSpaceTime(cfg, sys, 0, 0.1, 2); !errors.Is(err, ErrUnsupported) {
+		t.Fatalf("crash plan with PS>1: want ErrUnsupported, got %v", err)
+	}
+	// The guard layer composes with PS > 1 on the plain path, but not
+	// with the resilient loop's own agreement protocol.
+	cfg = chaosConfig(2, 2)
+	cfg.Guard.Enabled = true
+	if _, _, err := RunSpaceTime(cfg, sys, 0, 0.1, 2); !errors.Is(err, ErrUnsupported) {
+		t.Fatalf("guard + resilience with PS>1: want ErrUnsupported, got %v", err)
 	}
 	// Malformed plan strings are reported, not ignored.
 	cfg = chaosConfig(2, 1)

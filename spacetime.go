@@ -9,6 +9,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/guard"
+	"repro/internal/hot"
 	"repro/internal/kernel"
 	"repro/internal/machine"
 	"repro/internal/mpi"
@@ -17,6 +18,13 @@ import (
 	"repro/internal/telemetry"
 	"repro/internal/tree"
 )
+
+// ErrUnsupported is the sentinel of capability rejections: the
+// configuration names a combination the solver does not (yet) support
+// — crash recovery with PS > 1, or the guard layer combined with
+// resilient time stepping at PS > 1. Test with
+// errors.Is(err, nbody.ErrUnsupported).
+var ErrUnsupported = errors.New("nbody: unsupported configuration")
 
 // RunStats is a merged telemetry snapshot of a run: counters summed
 // over the ranks, gauges and per-phase timer maxima taken across them
@@ -63,6 +71,19 @@ type SpaceTimeConfig struct {
 	// batched kernels (the default), "aos" for the array-of-structs
 	// reference path. Results are bitwise equal (DESIGN.md §14).
 	Layout string
+	// Branch selects the branch-node exchange algorithm of the spatial
+	// tree code: "" or "ring" for the reference ring allgather with
+	// on-demand fetches, "batched" for the Bruck exchange with
+	// MAC-pruned prefetch and compute/communication overlap
+	// (DESIGN.md §15, SCALING.md). Results are bitwise identical.
+	Branch string
+	// Balance enables cross-rank dynamic load balancing: the sample-
+	// sort decomposition places its splitters at equal-work quantiles
+	// using the previous evaluation's per-particle interaction counts,
+	// so clustered distributions stop serializing on the heaviest
+	// rank. Off by default (the decomposition then depends on particle
+	// positions only, keeping guarded redos bitwise reproducible).
+	Balance bool
 	// Modeled enables the Blue Gene/P virtual clocks; ModeledSeconds of
 	// the result is then meaningful.
 	Modeled bool
@@ -85,9 +106,11 @@ type SpaceTimeConfig struct {
 // package guard (state checksums, ABFT tree checks, invariant
 // monitors; recompute → rollback → extra sweeps → typed abort).
 type GuardConfig struct {
-	// Enabled turns the guard layer on. Requires PS = 1: the recovery
-	// ladder's redo decisions are collective over the time
-	// communicator only.
+	// Enabled turns the guard layer on. Works at any PS: with PS > 1
+	// the ladder's redo/rollback/abort verdicts are agreed over the
+	// spatial communicator and the physics invariants are monitored as
+	// global sums (DESIGN.md §15). Combining the guard with
+	// Resilience.Enabled still requires PS = 1.
 	Enabled bool
 	// FlipPlan is a fault.ParseMem spec describing seeded bit flips,
 	// e.g. "rate=5e-4,in=state+tree,bits=52-63" (domains: state, tree,
@@ -102,6 +125,12 @@ type GuardConfig struct {
 	// to the fine sweep count from the second block redo on. Zero
 	// selects the package defaults.
 	MaxRecompute, MaxRollback, ExtraSweeps int
+	// CircTol, ImpulseTol and AngularTol override the relative
+	// tolerances of the physics invariant monitors (zero = package
+	// defaults). At PS > 1 the monitors compare global sums, whose
+	// clean drift includes the spatial decomposition's discretization
+	// differences — loosen them for large grids (SCALING.md).
+	CircTol, ImpulseTol, AngularTol float64
 }
 
 // ResilienceConfig is the facade's resilience block: a seeded fault
@@ -184,6 +213,12 @@ func RunSpaceTime(cfg SpaceTimeConfig, sys *System, t0, t1 float64, nsteps int) 
 		return nil, SpaceTimeStats{}, err
 	}
 	ccfg.Layout = layout
+	branch, err := hot.ParseBranchMode(cfg.Branch)
+	if err != nil {
+		return nil, SpaceTimeStats{}, err
+	}
+	ccfg.Branch = branch
+	ccfg.Balance = cfg.Balance
 	var model machine.CostModel
 	if cfg.Modeled {
 		model = machine.BlueGeneP()
@@ -205,7 +240,9 @@ func RunSpaceTime(cfg SpaceTimeConfig, sys *System, t0, t1 float64, nsteps int) 
 				return nil, SpaceTimeStats{}, fmt.Errorf("nbody: fault plan %q injects a crash; set Resilience.Enabled", rz.FaultPlan)
 			}
 			if cfg.PS > 1 {
-				return nil, SpaceTimeStats{}, fmt.Errorf("nbody: crash recovery supports PS=1 only (have PS=%d)", cfg.PS)
+				return nil, SpaceTimeStats{}, fmt.Errorf(
+					"%w: crash recovery requires PS=1 (have PS=%d) — only the time communicator can shrink",
+					ErrUnsupported, cfg.PS)
 			}
 		}
 	}
@@ -224,16 +261,23 @@ func RunSpaceTime(cfg SpaceTimeConfig, sys *System, t0, t1 float64, nsteps int) 
 		return nil, SpaceTimeStats{}, fmt.Errorf("nbody: Guard.FlipPlan %q set without Guard.Enabled", gc.FlipPlan)
 	}
 	if gc.Enabled {
-		if cfg.PS > 1 {
-			// Redo/rollback decisions are collective over the time
-			// communicator only; a spatial rank could not follow them.
-			return nil, SpaceTimeStats{}, fmt.Errorf("nbody: guard layer supports PS=1 only (have PS=%d)", cfg.PS)
+		if rz.Enabled && cfg.PS > 1 {
+			// The resilient loop folds guard verdicts into its own
+			// shrink/agree protocol, which only spans the time
+			// communicator; composing both with spatial parallelism is
+			// not supported yet.
+			return nil, SpaceTimeStats{}, fmt.Errorf(
+				"%w: guard layer combined with resilient time stepping requires PS=1 (have PS=%d)",
+				ErrUnsupported, cfg.PS)
 		}
 		pol := guard.Policy{
 			Enabled:      true,
 			MaxRecompute: gc.MaxRecompute,
 			MaxRollback:  gc.MaxRollback,
 			ExtraSweeps:  gc.ExtraSweeps,
+			CircTol:      gc.CircTol,
+			ImpulseTol:   gc.ImpulseTol,
+			AngularTol:   gc.AngularTol,
 		}
 		if gc.FlipPlan != "" {
 			mp, err := fault.ParseMem(gc.FlipPlan, gc.FlipSeed)
