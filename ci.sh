@@ -54,6 +54,9 @@ rm -f "$alloc_out"
 # Chaos lane: the fault-injection and resilience suites once more under
 # the race detector, -count=1 so cached passes don't mask flakiness in
 # the recovery protocol. Time-bounded by -timeout rather than test count.
+# The façade names matched here include the PS>1 grid sweep (gridchaos
+# _test.go): spatial shrink, column loss + checkpoint restore, and the
+# guard×crash interleaving on 2×2 and 4×2 grids.
 go test -race -count=1 -timeout 10m \
   -run 'Chaos|Resilien|Crash|HardLoss|Leak|Deadline|Shrink|Agree|Torn|Levels|Fault' \
   ./internal/fault/ ./internal/mpi/ ./internal/checkpoint/ ./internal/pfasst/ .
@@ -61,6 +64,10 @@ go test -race -count=1 -timeout 10m \
 # Checkpoint fuzz smoke: a few seconds of mutated NBLV headers against
 # the checked reader — corruption must surface as errors, never panics.
 go test -run '^$' -fuzz FuzzReadLevels -fuzztime 10s ./internal/checkpoint/
+# Same contract for the v3 grid manifest (sharded PS>1 checkpoints):
+# mutated NBLM bytes must fail closed — error, never panic, never a
+# silently wrong restore.
+go test -run '^$' -fuzz FuzzGridManifest -fuzztime 10s ./internal/checkpoint/
 
 # Guard lane: bit-flip chaos — seeded memory-fault injection, invariant
 # monitors, ABFT tree checks, and the recovery ladder — once more under

@@ -12,6 +12,7 @@
 //	experiments -exp chaos -faultseed 7 -faultplan "drop=0.1,crash=2@iter:1"  # custom crash plan
 //	experiments -exp sdcguard   # bit-flip guard matrix (writes BENCH_PR4.json; not part of "all")
 //	experiments -exp sdcguard -flipseed 7 -fliprate 1e-3  # custom sweep seed and per-word rate
+//	experiments -exp gridfault  # PS×PT grid fault tolerance (writes BENCH_PR8.json; not part of "all")
 //	experiments -exp fig5-xt    # joint space-time scaling study (writes BENCH_PR7.json; not part of "all")
 //	experiments -branch batched -exp phases       # batched branch exchange (prefetch visible)
 //	experiments -balance -exp phases              # work-weighted domain decomposition
@@ -44,13 +45,14 @@ func main() {
 	log.SetPrefix("experiments: ")
 	var (
 		fig        = flag.String("fig", "", "figure to regenerate: 1, 5, 7a, 7b, 8 (empty = all)")
-		exp        = flag.String("exp", "", "extra experiment: theta-ratio, residuals, speedup-model, ablations, phases, bench-pr2, bench-pr6, chaos, sdcguard, fig5-xt")
+		exp        = flag.String("exp", "", "extra experiment: theta-ratio, residuals, speedup-model, ablations, phases, bench-pr2, bench-pr6, chaos, sdcguard, gridfault, fig5-xt")
 		faultSeed  = flag.Int64("faultseed", 42, "fault-plan seed of the chaos experiment")
 		faultPlan  = flag.String("faultplan", "", "override the chaos experiment's crash plan (fault.Parse spec)")
 		chaosOut   = flag.String("chaosout", "BENCH_PR3.json", "output path of the chaos record")
 		flipSeed   = flag.Int64("flipseed", 42, "base flip seed of the sdcguard experiment")
 		flipRate   = flag.Float64("fliprate", 2e-4, "per-word flip rate of the sdcguard sweep plan")
 		guardOut   = flag.String("guardout", "BENCH_PR4.json", "output path of the sdcguard record")
+		gridOut    = flag.String("gridout", "BENCH_PR8.json", "output path of the gridfault record")
 		traversal  = flag.String("traversal", "", `tree traversal mode: "list" (default) or "recursive"`)
 		stealGrain = flag.Int("stealgrain", 0, "work-stealing chunk size in leaf groups (0 = automatic)")
 		threads    = flag.Int("threads", 0, "traversal worker goroutines per rank (>1 = hybrid scheduler; phases experiment)")
@@ -83,7 +85,7 @@ func main() {
 	// quoted in SCALING.md to keep the handbook honest).
 	figs := []string{"1", "5", "7a", "7b", "8"}
 	exps := []string{"theta-ratio", "residuals", "speedup-model", "ablations",
-		"phases", "bench-pr2", "bench-pr6", "chaos", "sdcguard", "fig5-xt"}
+		"phases", "bench-pr2", "bench-pr6", "chaos", "sdcguard", "gridfault", "fig5-xt"}
 	known := func(name string, set []string) bool {
 		for _, s := range set {
 			if strings.EqualFold(name, s) {
@@ -261,6 +263,22 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("wrote %s\n\n", *guardOut)
+	}
+	// gridfault is opt-in only: it drives full PT×PS grids through the
+	// grid-resilient loop — clean overhead, transient chaos, rank-crash
+	// recovery with per-phase costs — and records BENCH_PR8.json.
+	if strings.EqualFold(*exp, "gridfault") {
+		res, tbs, err := experiments.BenchPR8(experiments.DefaultBenchPR8())
+		if err != nil {
+			log.Fatal(err)
+		}
+		for i, tb := range tbs {
+			emit(fmt.Sprintf("bench_pr8_grid%d", i), tb)
+		}
+		if err := res.WriteJSON(*gridOut); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n\n", *gridOut)
 	}
 	fig7cfg := experiments.DefaultFig7()
 	if *paper {

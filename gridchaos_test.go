@@ -1,0 +1,261 @@
+package nbody
+
+// Full-grid chaos property sweep (ISSUE 8): the space-time solver at
+// PS > 1 under seeded crash plans, alone and composed with the guard's
+// bit-flip injection. The property: every run either completes —
+// bitwise identical for transient-only plans, within the documented
+// degraded bound when ranks died — or returns a typed abort. Hangs and
+// silent wrong answers are the forbidden outcomes (the in-process MPI
+// deadlock detector converts a hang into an error, so plain test
+// completion checks the former).
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/guard"
+)
+
+// gridDeviation is the acceptance bound for degraded completion after
+// rank deaths: recovery re-decomposes onto fewer spatial ranks (or
+// serial SDC), which is scientifically consistent but not bitwise.
+const gridDeviation = 1e-4
+
+func maxPosDev(a, b *System) float64 {
+	var maxd float64
+	for i := range a.Particles {
+		if d := a.Particles[i].Pos.Sub(b.Particles[i].Pos).Norm(); d > maxd {
+			maxd = d
+		}
+	}
+	return maxd
+}
+
+// TestFacadeGridCrashSpatialShrink: one rank of a 2×2 grid dies between
+// blocks; its column still has a live replica, so recovery shrinks the
+// spatial width to 1 and redistributes in memory — no checkpoint needed.
+func TestFacadeGridCrashSpatialShrink(t *testing.T) {
+	sys := RandomBlob(32, 0.2, 7)
+	clean, _, err := RunSpaceTime(chaosConfig(2, 2), sys, 0, 0.2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := chaosConfig(2, 2)
+	cfg.Resilience.FaultPlan = "crash=3@block:2"
+	cfg.Telemetry = true
+	out, stats, err := RunSpaceTime(cfg, sys, 0, 0.2, 4)
+	if err != nil {
+		t.Fatalf("grid crash not survived: %v", err)
+	}
+	if d := maxPosDev(clean, out); d > gridDeviation {
+		t.Fatalf("degraded grid run diverges by %g (> %g)", d, gridDeviation)
+	}
+	if stats.Run.Counter(core.CounterRecoveryRounds) == 0 {
+		t.Fatal("no recovery rounds recorded after a crash")
+	}
+	if stats.Run.Counter("pfasst.block_restarts") == 0 {
+		t.Fatal("no block restart recorded after a crash")
+	}
+	if stats.Run.Counter("fault.degraded_blocks") == 0 {
+		t.Fatal("no degraded blocks recorded after a spatial shrink")
+	}
+}
+
+// TestFacadeGridCrashMidAttempt: the death hits inside the block attempt
+// (predictor / iteration fault points), so survivors are woken out of
+// deadline receives and revoked spatial collectives, not caught at a
+// clean block boundary.
+func TestFacadeGridCrashMidAttempt(t *testing.T) {
+	sys := RandomBlob(32, 0.2, 7)
+	clean, _, err := RunSpaceTime(chaosConfig(2, 2), sys, 0, 0.2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, plan := range []string{"crash=2@iter:1", "crash=1@predictor:0"} {
+		cfg := chaosConfig(2, 2)
+		cfg.Resilience.FaultPlan = plan
+		out, _, err := RunSpaceTime(cfg, sys, 0, 0.2, 4)
+		if err != nil {
+			t.Fatalf("%s: not survived: %v", plan, err)
+		}
+		if d := maxPosDev(clean, out); d > gridDeviation {
+			t.Fatalf("%s: diverges by %g", plan, d)
+		}
+	}
+}
+
+// TestFacadeGridColumnLossCheckpointRestore: BOTH holders of spatial
+// column 1 die at once, so no in-memory replica survives. With a
+// checkpoint directory the committed block restores from disk and is
+// re-decomposed onto the shrunken grid; without one the run must abort
+// with the typed ErrStateLost — never hang, never fabricate state.
+func TestFacadeGridColumnLossCheckpointRestore(t *testing.T) {
+	sys := RandomBlob(32, 0.2, 7)
+	clean, _, err := RunSpaceTime(chaosConfig(2, 2), sys, 0, 0.2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := chaosConfig(2, 2)
+	cfg.Resilience.FaultPlan = "crash=1@block:2,crash=3@block:2"
+	cfg.Resilience.CheckpointDir = t.TempDir()
+	out, _, err := RunSpaceTime(cfg, sys, 0, 0.2, 4)
+	if err != nil {
+		t.Fatalf("column loss with checkpoint not survived: %v", err)
+	}
+	if d := maxPosDev(clean, out); d > gridDeviation {
+		t.Fatalf("checkpoint-restored run diverges by %g", d)
+	}
+
+	cfg = chaosConfig(2, 2)
+	cfg.Resilience.FaultPlan = "crash=1@block:2,crash=3@block:2"
+	if _, _, err := RunSpaceTime(cfg, sys, 0, 0.2, 4); !errors.Is(err, core.ErrStateLost) {
+		t.Fatalf("column loss without checkpoint: want ErrStateLost, got %v", err)
+	}
+}
+
+// TestFacadeGridGuardResilienceCleanBitwise: guard + resilience at
+// PS > 1 with a purely transient chaos plan AND seeded bit flips must
+// reproduce the clean run bitwise — redo-after-corruption rebuilds the
+// same grid at the same width, and the transport layer absorbs the
+// losses.
+func TestFacadeGridGuardResilienceCleanBitwise(t *testing.T) {
+	sys := RandomBlob(32, 0.2, 7)
+	clean, _, err := RunSpaceTime(chaosConfig(2, 2), sys, 0, 0.2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := chaosConfig(2, 2)
+	cfg.Resilience.FaultPlan = "drop=0.05,corrupt=0.03"
+	cfg.Resilience.FaultSeed = 5
+	cfg.Guard.Enabled = true
+	// Top-exponent-bit flips are always caught by the magnitude scan,
+	// and this seed injects at attempt 0 of each block with a clean
+	// retry inside the budget — every flip is detected, redone, and
+	// the final state matches the clean run bitwise.
+	cfg.Guard.FlipPlan = "rate=5e-3,in=block,bits=62-62"
+	cfg.Guard.FlipSeed = 5
+	cfg.Telemetry = true
+	out, stats, err := RunSpaceTime(cfg, sys, 0, 0.2, 4)
+	if err != nil {
+		var v *guard.Violation
+		if errors.As(err, &v) {
+			t.Skipf("ladder exhausted under this seed (typed abort): %v", err)
+		}
+		t.Fatalf("guard+resilience chaos at PS>1 failed untyped: %v", err)
+	}
+	for i := range clean.Particles {
+		if clean.Particles[i] != out.Particles[i] {
+			t.Fatalf("transient guard+resilience chaos changed particle %d", i)
+		}
+	}
+	if stats.Run.Counter(guard.CounterInjected) == 0 {
+		t.Fatal("no guard flips recorded despite a flip plan")
+	}
+}
+
+// TestFacadeGridGuardCrashInterleaving is the composition sweep: seeded
+// block corruption forcing guard redos, plus a rank crash placed before
+// / during / after the redo window. Acceptable outcomes per case:
+// bounded-deviation completion or a typed abort (guard violation or
+// state loss). Hangs and silent divergence fail the property.
+func TestFacadeGridGuardCrashInterleaving(t *testing.T) {
+	sys := RandomBlob(32, 0.2, 7)
+	clean, _, err := RunSpaceTime(chaosConfig(2, 2), sys, 0, 0.2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plans := []string{
+		"crash=3@block:0",     // before the first attempt commits
+		"crash=3@block:2",     // between blocks, after a guarded commit
+		"crash=2@iter:1",      // mid-attempt, racing a possible redo
+		"crash=1@predictor:0", // at attempt start
+	}
+	for _, plan := range plans {
+		cfg := chaosConfig(2, 2)
+		cfg.Resilience.FaultPlan = plan
+		cfg.Guard.Enabled = true
+		cfg.Guard.FlipPlan = "rate=5e-3,in=block,bits=62-62"
+		cfg.Guard.FlipSeed = 5
+		out, _, err := RunSpaceTime(cfg, sys, 0, 0.2, 4)
+		if err != nil {
+			var v *guard.Violation
+			if errors.As(err, &v) || errors.Is(err, core.ErrStateLost) {
+				continue // typed abort: acceptable outcome
+			}
+			t.Fatalf("%s: untyped failure: %v", plan, err)
+		}
+		if d := maxPosDev(clean, out); d > gridDeviation {
+			t.Fatalf("%s: silent divergence %g", plan, d)
+		}
+	}
+}
+
+// TestFacadeGridCrash4x2Shrink: the wider 4×2 grid loses ranks in two
+// different time slices at once; recovery shrinks the spatial width
+// once for both and completes degraded.
+func TestFacadeGridCrash4x2Shrink(t *testing.T) {
+	sys := RandomBlob(32, 0.2, 7)
+	clean, _, err := RunSpaceTime(chaosConfig(4, 2), sys, 0, 0.2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := chaosConfig(4, 2)
+	cfg.Resilience.FaultPlan = "crash=5@block:0,crash=7@iter:0"
+	out, _, err := RunSpaceTime(cfg, sys, 0, 0.2, 4)
+	if err != nil {
+		t.Fatalf("double crash on 4×2 not survived: %v", err)
+	}
+	if d := maxPosDev(clean, out); d > gridDeviation {
+		t.Fatalf("4×2 degraded run diverges by %g", d)
+	}
+}
+
+// TestFacadeGridCheckpointResumeAcrossPS: a grid checkpoint written at
+// PS=2 resumes onto a PS=3 run — restore re-decomposes the full state
+// onto whatever width the resuming run has (the same code path crash
+// recovery uses). A resume whose checkpoint already covers every step
+// must return the checkpointed state unchanged.
+func TestFacadeGridCheckpointResumeAcrossPS(t *testing.T) {
+	sys := RandomBlob(33, 0.2, 7) // not divisible by 2 or 3: uneven shares
+	dir := t.TempDir()
+
+	cfg := chaosConfig(2, 2)
+	cfg.Resilience.CheckpointDir = dir
+	if _, _, err := RunSpaceTime(cfg, sys, 0, 0.2, 4); err != nil {
+		t.Fatal(err)
+	}
+
+	// Resume the second half on a grid with a different spatial width.
+	cfg = chaosConfig(2, 3)
+	cfg.Resilience.CheckpointDir = dir
+	cfg.Resilience.Resume = true
+	out, _, err := RunSpaceTime(cfg, sys, 0, 0.4, 8)
+	if err != nil {
+		t.Fatalf("resume onto PS=3 failed: %v", err)
+	}
+	full, _, err := RunSpaceTime(chaosConfig(2, 2), sys, 0, 0.4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := maxPosDev(full, out); d > gridDeviation {
+		t.Fatalf("PS-crossing resume diverges by %g", d)
+	}
+
+	// Already-complete resume: the checkpoint written by the resumed
+	// run covers all 8 steps, so this run executes zero blocks and must
+	// still hand back the checkpointed state (bitwise vs the run that
+	// wrote it).
+	cfg = chaosConfig(2, 2)
+	cfg.Resilience.CheckpointDir = dir
+	cfg.Resilience.Resume = true
+	same, _, err := RunSpaceTime(cfg, sys, 0, 0.4, 8)
+	if err != nil {
+		t.Fatalf("no-op resume failed: %v", err)
+	}
+	for i := range out.Particles {
+		if out.Particles[i] != same.Particles[i] {
+			t.Fatalf("no-op resume changed particle %d", i)
+		}
+	}
+}

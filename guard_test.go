@@ -30,13 +30,14 @@ func TestFacadeRejectsBadGuardConfigs(t *testing.T) {
 		!strings.Contains(err.Error(), "without Guard.Enabled") {
 		t.Fatalf("flip plan without guard not rejected: %v", err)
 	}
-	// Guard + resilient time stepping at PS > 1 is the one remaining
-	// unsupported combination: rejected with the typed sentinel.
+	// Guard + resilient time stepping at PS > 1 was the last rejected
+	// combination; the grid-resilient loop composes both, so the
+	// configuration must now run cleanly.
 	cfg = DefaultSpaceTime(2, 2)
 	cfg.Guard.Enabled = true
 	cfg.Resilience.Enabled = true
-	if _, _, err := RunSpaceTime(cfg, sys, 0, 0.1, 2); !errors.Is(err, ErrUnsupported) {
-		t.Fatalf("guard + resilience with PS>1: want ErrUnsupported, got %v", err)
+	if _, _, err := RunSpaceTime(cfg, sys, 0, 0.1, 2); err != nil {
+		t.Fatalf("guard + resilience with PS>1 no longer supported: %v", err)
 	}
 	// A malformed flip spec is a configuration error, not a run error.
 	cfg = guardConfig(2)

@@ -1,0 +1,313 @@
+package checkpoint
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// gridFixture writes a complete committed grid checkpoint (ps shards +
+// manifest) for one block into dir and returns the full state it
+// represents.
+func gridFixture(t *testing.T, dir string, block, ps int) []float64 {
+	t.Helper()
+	var full []float64
+	dims := make([]int, ps)
+	for col := 0; col < ps; col++ {
+		dim := 6 * (col + 2) // unequal columns, like a real partition
+		u := make([]float64, dim)
+		for i := range u {
+			u[i] = float64(block*1000+col*100+i) / 7
+		}
+		full = append(full, u...)
+		dims[col] = dim
+		st := &LevelState{
+			Block:     block,
+			StepsDone: block * 4,
+			TimeRanks: 4,
+			T:         0.25 * float64(block),
+			U:         [][]float64{u, u[:dim/2]},
+			Diag:      []float64{1, 2, 3},
+		}
+		if err := SaveGridShard(dir, col, st); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g := &GridState{
+		Block:      block,
+		StepsDone:  block * 4,
+		TimeRanks:  4,
+		SpaceRanks: ps,
+		T:          0.25 * float64(block),
+		Dims:       dims,
+		Diag:       []float64{7.5, -1.25},
+	}
+	if err := CommitGridManifest(dir, g); err != nil {
+		t.Fatal(err)
+	}
+	return full
+}
+
+func TestGridRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	full := gridFixture(t, dir, 3, 4)
+	got, err := LoadGrid(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Block != 3 || got.StepsDone != 12 || got.TimeRanks != 4 || got.T != 0.75 {
+		t.Fatalf("metadata: %+v", got)
+	}
+	if len(got.Diag) != 2 || got.Diag[0] != 7.5 || got.Diag[1] != -1.25 {
+		t.Fatalf("diag: %v", got.Diag)
+	}
+	if len(got.U) != len(full) {
+		t.Fatalf("full state length %d, want %d", len(got.U), len(full))
+	}
+	for i := range full {
+		if got.U[i] != full[i] {
+			t.Fatalf("state[%d] = %g, want %g", i, got.U[i], full[i])
+		}
+	}
+}
+
+// TestGridRestoreIsPartitionAgnostic: the load side returns the FULL
+// concatenated state with no reference to the writing PS beyond shard
+// bookkeeping — a checkpoint written at PS=4 restores fine for a run
+// that will re-partition onto PS=2 (or any other width). That property
+// is what lets resume and shrink-recovery share one code path.
+func TestGridRestoreIsPartitionAgnostic(t *testing.T) {
+	dir := t.TempDir()
+	full := gridFixture(t, dir, 1, 4)
+	got, err := LoadGrid(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Re-partition the restored state onto PS=2 exactly like the block
+	// decomposition does (contiguous particle ranges): the concatenation
+	// must slice cleanly regardless of the original shard boundaries.
+	n := len(got.U) / 6
+	for newPS := 1; newPS <= 3; newPS++ {
+		var rebuilt []float64
+		for r := 0; r < newPS; r++ {
+			lo, hi := 6*(n*r/newPS), 6*(n*(r+1)/newPS)
+			rebuilt = append(rebuilt, got.U[lo:hi]...)
+		}
+		if len(rebuilt) != len(full) {
+			t.Fatalf("PS=%d re-partition lost state", newPS)
+		}
+	}
+}
+
+func TestGridLoadMissingShard(t *testing.T) {
+	dir := t.TempDir()
+	gridFixture(t, dir, 0, 3)
+	if err := os.Remove(ShardPath(dir, 0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadGrid(dir); err == nil {
+		t.Fatal("missing shard not detected")
+	}
+}
+
+func TestGridLoadTruncatedShard(t *testing.T) {
+	dir := t.TempDir()
+	gridFixture(t, dir, 0, 2)
+	path := ShardPath(dir, 0, 1)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, raw[:len(raw)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadGrid(dir); err == nil {
+		t.Fatal("truncated shard not detected")
+	}
+}
+
+func TestGridLoadShardChecksumMismatch(t *testing.T) {
+	dir := t.TempDir()
+	gridFixture(t, dir, 0, 2)
+	path := ShardPath(dir, 0, 0)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one payload byte AND fix up nothing: the shard's own internal
+	// checksum would catch it, but the manifest's file checksum fires
+	// first (it guards even formats the shard parser would tolerate).
+	raw[len(raw)/2] ^= 0xff
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = LoadGrid(dir)
+	if err == nil || !strings.Contains(err.Error(), "checksum mismatch with manifest") {
+		t.Fatalf("want manifest checksum mismatch, got %v", err)
+	}
+}
+
+// TestGridShardSwapDetected: two individually valid shards swapped on
+// disk must fail the per-file checksums — the manifest binds each
+// column's CONTENT, not just its existence.
+func TestGridShardSwapDetected(t *testing.T) {
+	dir := t.TempDir()
+	gridFixture(t, dir, 0, 2)
+	a, b := ShardPath(dir, 0, 0), ShardPath(dir, 0, 1)
+	tmp := filepath.Join(dir, "swap.tmp")
+	if err := os.Rename(a, tmp); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Rename(b, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Rename(tmp, b); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadGrid(dir); err == nil {
+		t.Fatal("swapped shards not detected")
+	}
+}
+
+func TestGridManifestCorruptionDetected(t *testing.T) {
+	dir := t.TempDir()
+	gridFixture(t, dir, 0, 2)
+	path := ManifestPath(dir)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, i := range []int{5, 20, len(raw) / 2, len(raw) - 1} {
+		mut := append([]byte(nil), raw...)
+		mut[i] ^= 0x40
+		if err := os.WriteFile(path, mut, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := LoadGrid(dir); err == nil {
+			t.Fatalf("manifest corruption at byte %d not detected", i)
+		}
+	}
+}
+
+// TestGridTornCommitPreservesPreviousCheckpoint is the multi-file
+// atomicity regression: a crash partway through writing the NEXT
+// block's manifest must leave the previous block's checkpoint fully
+// restorable. Shards are block-numbered (never overwritten) and the
+// manifest is renamed into place only when complete, so the torn
+// commit is invisible.
+func TestGridTornCommitPreservesPreviousCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	full1 := gridFixture(t, dir, 1, 2)
+
+	// Write block 2's shards fine, then tear the manifest write.
+	for col := 0; col < 2; col++ {
+		u := make([]float64, 12)
+		st := &LevelState{Block: 2, StepsDone: 8, TimeRanks: 4, T: 0.5, U: [][]float64{u}}
+		if err := SaveGridShard(dir, col, st); err != nil {
+			t.Fatal(err)
+		}
+	}
+	testTornWrite = func(w io.Writer) io.Writer { return &tornWriter{w: w, left: 30} }
+	err := CommitGridManifest(dir, &GridState{
+		Block: 2, StepsDone: 8, TimeRanks: 4, SpaceRanks: 2, T: 0.5,
+		Dims: []int{12, 12},
+	})
+	testTornWrite = nil
+	if err == nil {
+		t.Fatal("torn manifest commit reported success")
+	}
+
+	got, err := LoadGrid(dir)
+	if err != nil {
+		t.Fatalf("previous checkpoint lost after torn commit: %v", err)
+	}
+	if got.Block != 1 || len(got.U) != len(full1) {
+		t.Fatalf("restored block %d with %d floats, want block 1 with %d",
+			got.Block, len(got.U), len(full1))
+	}
+	for i := range full1 {
+		if got.U[i] != full1[i] {
+			t.Fatalf("state[%d] changed after torn commit", i)
+		}
+	}
+}
+
+// TestGridCommitGCKeepsOnlyCommittedBlock: after a successful commit,
+// shards of older blocks are collected; the committed block's survive.
+func TestGridCommitGCKeepsOnlyCommittedBlock(t *testing.T) {
+	dir := t.TempDir()
+	gridFixture(t, dir, 1, 2)
+	gridFixture(t, dir, 2, 2)
+	if _, err := os.Stat(ShardPath(dir, 1, 0)); !os.IsNotExist(err) {
+		t.Fatalf("stale block-1 shard survived GC (err=%v)", err)
+	}
+	if _, err := os.Stat(ShardPath(dir, 2, 1)); err != nil {
+		t.Fatalf("committed block-2 shard missing: %v", err)
+	}
+	if got, err := LoadGrid(dir); err != nil || got.Block != 2 {
+		t.Fatalf("load after GC: block %d, err %v", got.Block, err)
+	}
+}
+
+func TestGridCommitRefusesBadShards(t *testing.T) {
+	dir := t.TempDir()
+	// No shards at all.
+	err := CommitGridManifest(dir, &GridState{
+		Block: 0, TimeRanks: 1, SpaceRanks: 1, Dims: []int{6},
+	})
+	if err == nil {
+		t.Fatal("commit without shards succeeded")
+	}
+	// Shard present but wrong dimension.
+	st := &LevelState{Block: 0, TimeRanks: 1, U: [][]float64{make([]float64, 12)}}
+	if err := SaveGridShard(dir, 0, st); err != nil {
+		t.Fatal(err)
+	}
+	err = CommitGridManifest(dir, &GridState{
+		Block: 0, TimeRanks: 1, SpaceRanks: 1, Dims: []int{6},
+	})
+	if err == nil || !strings.Contains(err.Error(), "dim mismatch") {
+		t.Fatalf("want dim mismatch, got %v", err)
+	}
+}
+
+// FuzzGridManifest hardens the manifest reader: arbitrary bytes must
+// yield a clean error or a structurally valid manifest, never a panic
+// or runaway allocation.
+func FuzzGridManifest(f *testing.F) {
+	var seed bytes.Buffer
+	_ = WriteGridManifest(&seed, &GridState{
+		Block: 1, StepsDone: 4, TimeRanks: 4, SpaceRanks: 2, T: 0.25,
+		Dims: []int{12, 18}, ShardSums: []uint64{1, 2}, Diag: []float64{1, 2, 3},
+	})
+	f.Add(seed.Bytes())
+	f.Add([]byte("NBLM"))
+	f.Add([]byte{})
+	// A header claiming a huge column count with no payload.
+	huge := append([]byte("NBLM"), make([]byte, 44)...)
+	huge[4] = 1     // version
+	huge[35] = 0x7f // spaceRanks high byte → large
+	f.Add(huge)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := ReadGridManifest(bytes.NewReader(data))
+		if err == nil {
+			if g == nil {
+				t.Fatal("nil manifest without error")
+			}
+			if len(g.Dims) != g.SpaceRanks || len(g.ShardSums) != g.SpaceRanks {
+				t.Fatalf("inconsistent manifest accepted: %+v", g)
+			}
+			// Accepted manifests must round-trip bitwise.
+			var out bytes.Buffer
+			if err := WriteGridManifest(&out, g); err != nil {
+				t.Fatalf("re-encode of accepted manifest failed: %v", err)
+			}
+			if !bytes.Equal(out.Bytes(), data[:out.Len()]) {
+				t.Fatal("accepted manifest does not round-trip")
+			}
+		}
+	})
+}

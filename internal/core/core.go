@@ -193,10 +193,16 @@ type Config struct {
 	// counters). Each rank needs its own registry; merge the Snapshots
 	// afterwards.
 	Tel *telemetry.Registry
-	// Resilience selects PFASST's fault-tolerant execution path
+	// Resilience selects the fault-tolerant execution path
 	// (checkpointed blocks, bounded-wait receives, shrink-and-redo
-	// recovery). Crash recovery is supported for PS = 1: the time
-	// communicator can shrink, the spatial one cannot.
+	// recovery). At PS = 1 the loop runs inside PFASST: the time
+	// communicator shrinks and the survivors redo the block. At PS > 1
+	// the grid-resilient loop in this package takes over: commit/abort
+	// is agreed over the full PT×PS world, survivors shrink BOTH
+	// communicator families, the committed state is re-decomposed onto
+	// the smaller spatial width, and when a whole time slice dies out
+	// every live rank falls back to redundant serial SDC (see
+	// resilient.go and DESIGN.md §12).
 	Resilience pfasst.Resilience
 	// Guard configures the silent-data-corruption detectors and the
 	// recovery ladder (package guard). When Enabled, every rank gets a
@@ -204,9 +210,11 @@ type Config struct {
 	// and its PFASST time loop (state checksum, block-end monitors).
 	// Works at any PS: with PS > 1 the ladder's verdicts are agreed
 	// collectively over the spatial communicator and the invariant
-	// monitors compare global sums (DESIGN.md §15). Combining Guard
-	// with Resilience.Enabled still requires PS = 1 (enforced by the
-	// façade).
+	// monitors compare global sums (DESIGN.md §15). Guard composes
+	// with Resilience.Enabled at any PS: corruption verdicts and crash
+	// verdicts fold into the same per-block agreement, so a bit-flip
+	// redo and a concurrent rank crash interleave safely (DESIGN.md
+	// §12).
 	Guard guard.Policy
 }
 
@@ -238,8 +246,17 @@ type Result struct {
 	// time (every time slice ends with the same copy).
 	Local *particle.System
 	// SpatialIndex identifies which block of the initial particle
-	// ordering Local corresponds to.
+	// ordering Local corresponds to (−1 when the rank retired).
 	SpatialIndex int
+	// SpatialRanks is the spatial width of the FINAL decomposition:
+	// cfg.PS normally, smaller after crash recovery shrank the grid.
+	// Reassemble the full state from the ranks with Participated set,
+	// slicing by SpatialIndex/SpatialRanks.
+	SpatialRanks int
+	// Participated reports whether Local holds a share of the final
+	// state. False only for ranks the grid-resilient path retired after
+	// a shrink (their Local is nil).
+	Participated bool
 	// TimeSlice is this rank's slice index.
 	TimeSlice int
 	// PFASST carries the per-block residual diagnostics.
@@ -257,6 +274,9 @@ func RunSpaceTime(world *mpi.Comm, cfg Config, full *particle.System, t0, t1 flo
 	if world.Size() != cfg.PT*cfg.PS {
 		return Result{}, fmt.Errorf("core: world has %d ranks, config wants PT×PS = %d×%d",
 			world.Size(), cfg.PT, cfg.PS)
+	}
+	if cfg.Resilience.Enabled && cfg.PS > 1 {
+		return runGridResilient(world, cfg, full, t0, t1, nsteps)
 	}
 	slice := world.Rank() / cfg.PS
 	spatial := world.Rank() % cfg.PS
@@ -322,6 +342,8 @@ func RunSpaceTime(world *mpi.Comm, cfg Config, full *particle.System, t0, t1 flo
 	return Result{
 		Local:        out,
 		SpatialIndex: spatial,
+		SpatialRanks: cfg.PS,
+		Participated: true,
 		TimeSlice:    slice,
 		PFASST:       pres,
 		FineEvals:    fineSys.Evals,

@@ -18,13 +18,14 @@ import (
 )
 
 // BenchPR3Config parameterizes the chaos/resilience benchmark: the
-// space-time solver (PT time ranks, PS=1) on the vortex blob under
+// space-time solver (PT time ranks; the PS=1 time-shrink loop — the
+// PS>1 grid protocol is benchmarked by BenchPR8) on the vortex blob under
 // virtual Blue Gene/P clocks, run through a fault matrix — no faults,
 // transient chaos, and a mid-block rank crash — with the resilient
 // PFASST loop absorbing what the plan throws at it.
 type BenchPR3Config struct {
 	N     int // particles
-	PT    int // time ranks (spatial parallelism stays 1: crash recovery)
+	PT    int // time ranks (PS=1 here; BenchPR8 covers PS>1 recovery)
 	Steps int // time steps
 
 	Seed          int64  // fault-plan seed

@@ -18,13 +18,14 @@ import (
 )
 
 // BenchPR4Config parameterizes the SDC-guard benchmark: the space-time
-// solver (PT time ranks, PS=1) with the numerical guardrails active,
+// solver (PT time ranks, PS=1; the guard composes with PS>1 too — see
+// BenchPR8) with the numerical guardrails active,
 // run clean for overhead, then through a seeded bit-flip sweep for
 // detection/recovery rates, a sticky-flip abort, and the opt-in
 // block-domain monitors.
 type BenchPR4Config struct {
 	N     int // particles
-	PT    int // time ranks (guard requires PS=1)
+	PT    int // time ranks (this matrix runs PS=1; the guard also composes at PS>1)
 	Steps int // time steps
 
 	Seed  int64   // base flip seed; the sweep uses Seed, Seed+1, …

@@ -56,17 +56,24 @@ type Plan struct {
 	CorruptProb float64
 	LeakCorrupt bool
 
-	// CrashRank, when ≥ 0, kills that world rank at the integrator
-	// phase point (CrashPhase, CrashEpoch) — e.g. ("iter", 1) crashes
-	// mid-block at the start of PFASST iteration 1.
-	CrashRank  int
-	CrashPhase string
-	CrashEpoch int
+	// Crashes lists the rank-death schedule: each entry kills one
+	// world rank at an integrator phase point — e.g. ("iter", 1)
+	// crashes mid-block at the start of PFASST iteration 1. Repeated
+	// crash= keys in a Parse spec append here, so double (and higher)
+	// failures — two ranks dying in one block — are expressible.
+	Crashes []Crash
+}
+
+// Crash is one scheduled rank death at a named phase point.
+type Crash struct {
+	Rank  int
+	Phase string
+	Epoch int
 }
 
 // New returns an empty plan (no faults) with the given seed.
 func New(seed int64) *Plan {
-	return &Plan{Seed: seed, CrashRank: -1}
+	return &Plan{Seed: seed}
 }
 
 // Parse builds a plan from a compact spec string, comma-separated:
@@ -76,6 +83,7 @@ func New(seed int64) *Plan {
 //	corrupt=0.02        corruption probability (transport-absorbed)
 //	corrupt=0.02:leak   ... delivered torn instead (tests decoders)
 //	crash=1@iter:1      world rank 1 crashes at phase "iter", epoch 1
+//	                    (repeatable: each crash= adds one rank death)
 //	retries=6           transport retransmission bound
 //	backoff=7us         retransmission backoff (Go duration)
 //
@@ -153,7 +161,7 @@ func (p *Plan) parseCrash(v string) error {
 	if err != nil {
 		return fmt.Errorf("bad crash epoch %q", epochStr)
 	}
-	p.CrashRank, p.CrashPhase, p.CrashEpoch = rank, phase, epoch
+	p.Crashes = append(p.Crashes, Crash{Rank: rank, Phase: phase, Epoch: epoch})
 	return nil
 }
 
@@ -168,7 +176,7 @@ func parseProb(s string) (float64, error) {
 // Transient reports whether the plan injects only transient faults
 // (no crash): such a plan is absorbed entirely by the transport and
 // must leave results bitwise identical to a fault-free run.
-func (p *Plan) Transient() bool { return p.CrashRank < 0 }
+func (p *Plan) Transient() bool { return len(p.Crashes) == 0 }
 
 // Empty reports whether the plan injects nothing at all.
 func (p *Plan) Empty() bool {
@@ -265,7 +273,12 @@ func (p *Plan) Message(src, dst, tag int, seq uint64, size int) mpi.FaultVerdict
 
 // CrashAt implements mpi.FaultPolicy.
 func (p *Plan) CrashAt(rank int, phase string, epoch int) bool {
-	return rank == p.CrashRank && phase == p.CrashPhase && epoch == p.CrashEpoch
+	for _, c := range p.Crashes {
+		if rank == c.Rank && phase == c.Phase && epoch == c.Epoch {
+			return true
+		}
+	}
+	return false
 }
 
 // String renders the plan in Parse's spec syntax (diagnostics and
@@ -286,8 +299,8 @@ func (p *Plan) String() string {
 		}
 		parts = append(parts, s)
 	}
-	if p.CrashRank >= 0 {
-		parts = append(parts, fmt.Sprintf("crash=%d@%s:%d", p.CrashRank, p.CrashPhase, p.CrashEpoch))
+	for _, c := range p.Crashes {
+		parts = append(parts, fmt.Sprintf("crash=%d@%s:%d", c.Rank, c.Phase, c.Epoch))
 	}
 	if len(parts) == 0 {
 		return "none"

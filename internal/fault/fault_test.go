@@ -16,7 +16,7 @@ func TestParseRoundTrip(t *testing.T) {
 	if math.Abs(p.DelaySeconds-50e-6) > 1e-12 {
 		t.Fatalf("delay seconds %g", p.DelaySeconds)
 	}
-	if p.CrashRank != 1 || p.CrashPhase != "iter" || p.CrashEpoch != 2 {
+	if len(p.Crashes) != 1 || p.Crashes[0] != (Crash{Rank: 1, Phase: "iter", Epoch: 2}) {
 		t.Fatalf("crash: %+v", p)
 	}
 	if p.MaxRetries != 4 || math.Abs(p.RetryBackoff-7e-6) > 1e-12 {
@@ -24,6 +24,30 @@ func TestParseRoundTrip(t *testing.T) {
 	}
 	if !p.CrashAt(1, "iter", 2) || p.CrashAt(0, "iter", 2) || p.CrashAt(1, "block", 2) {
 		t.Fatal("CrashAt mismatch")
+	}
+}
+
+func TestParseMultiCrash(t *testing.T) {
+	p, err := Parse("crash=2@block:0,crash=5@iter:1", 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Crashes) != 2 {
+		t.Fatalf("want 2 crashes, got %+v", p.Crashes)
+	}
+	if p.Transient() {
+		t.Fatal("multi-crash plan reported transient")
+	}
+	if !p.CrashAt(2, "block", 0) || !p.CrashAt(5, "iter", 1) || p.CrashAt(2, "iter", 1) {
+		t.Fatal("CrashAt mismatch on multi-crash plan")
+	}
+	// String round-trips through Parse (crash order preserved).
+	q, err := Parse(p.String(), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.String() != p.String() {
+		t.Fatalf("round trip: %q != %q", q.String(), p.String())
 	}
 }
 

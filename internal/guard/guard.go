@@ -260,8 +260,15 @@ func (g *Guard) Policy() Policy {
 // stays rank-local and bitwise identical to earlier guards-on runs;
 // with PS > 1 the invariant monitors compare global sums over the
 // spatial ranks and Agree folds verdicts collectively (DESIGN.md §15).
+// Attaching nil or a singleton communicator DETACHES: after crash
+// recovery re-decomposes onto a single spatial rank, the guard must
+// stop running collectives on the abandoned communicator.
 func (g *Guard) AttachSpace(c *mpi.Comm) {
-	if g == nil || c == nil || c.Size() < 2 {
+	if g == nil {
+		return
+	}
+	if c == nil || c.Size() < 2 {
+		g.space = nil
 		return
 	}
 	g.space = c

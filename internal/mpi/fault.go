@@ -157,6 +157,9 @@ func (c *Comm) RecvDeadline(src, tag int, timeout time.Duration) (data []byte, a
 		if m, cr, ok := c.matchLocked(box, wantWorldSrc, tag); ok {
 			return m.data, cr, m.tag, nil
 		}
+		if w.revoked[c.id] {
+			return nil, 0, 0, fmt.Errorf("%w (%s)", ErrRevoked, c.describe())
+		}
 		if dr := c.deadMemberLocked(); dr >= 0 {
 			return nil, 0, 0, fmt.Errorf("%w (world rank %d)", ErrRankDead, dr)
 		}
@@ -200,6 +203,15 @@ func (c *Comm) Shrink() *Comm {
 		}
 	}
 	w.mu.Unlock()
+	return c.shrinkOnto(survivors)
+}
+
+// shrinkOnto builds the communicator of the given surviving world
+// ranks (a subsequence of c.ranks): the identity is a pure function of
+// the parent identity and the survivor list, so every survivor
+// constructs a matching communicator without communication. Shared by
+// Shrink (local dead-set snapshot) and ShrinkTo (agreed dead set).
+func (c *Comm) shrinkOnto(survivors []int) *Comm {
 	id := uint64(14695981039346656037)
 	mix := func(v uint64) {
 		for i := 0; i < 8; i++ {
@@ -220,9 +232,9 @@ func (c *Comm) Shrink() *Comm {
 		}
 	}
 	if myRank < 0 {
-		panic("mpi: Shrink called by a dead rank")
+		panic("mpi: Shrink called by a dead or excluded rank")
 	}
-	return &Comm{w: w, id: id, rank: myRank, ranks: survivors}
+	return &Comm{w: c.w, id: id, rank: myRank, ranks: survivors}
 }
 
 // agreeKey identifies one agreement round: communicator identity plus
@@ -301,7 +313,7 @@ func (c *Comm) Agree(v int64) int64 {
 		// Blocked agreements participate in deadlock detection (a lone
 		// survivor stuck here after a botched multi-failure recovery
 		// should fail the world, not hang the process).
-		w.waiting[me] = waitInfo{epoch: w.epoch, src: agreeWait, tag: agreeWait}
+		w.waiting[me] = waitInfo{epoch: w.epoch, src: agreeWait, tag: agreeWait, comm: c.describe()}
 		if w.deadlocked() {
 			err := w.deadlockError()
 			delete(w.waiting, me)

@@ -67,10 +67,14 @@ type mailbox struct {
 
 // waitInfo records what a blocked rank is waiting for — the epoch it
 // observed plus the (src, tag) pair of the pending receive (world src,
-// AnySource/AnyTag wildcards; src == agreeWait marks an Agree).
+// AnySource/AnyTag wildcards; src == agreeWait marks an Agree) and the
+// communicator it is blocked on (SetLabel names it), so a deadlock
+// report distinguishes a rank stuck on its spatial communicator from
+// one stuck on its temporal one.
 type waitInfo struct {
 	epoch    uint64
 	src, tag int
+	comm     string
 }
 
 // agreeWait is the waitInfo src marker for ranks blocked in Agree.
@@ -98,6 +102,10 @@ type world struct {
 	seq   []uint64 // per (src*size+dst) message sequence numbers
 	dead  []bool
 	agree map[agreeKey]*agreeSlot
+	// revoked holds the identities of revoked communicators (nil until
+	// the first Revoke): receives on a revoked comm fail with a typed
+	// comm failure so blocked peers join recovery (see revoke.go).
+	revoked map[uint64]bool
 
 	// Deadlock detection: every send increments epoch; a rank that
 	// scans its mailbox without a match registers in waiting with the
@@ -168,7 +176,7 @@ func (w *world) deadlockError() error {
 		}
 		switch {
 		case wi.src == agreeWait:
-			sb = append(sb, fmt.Sprintf("rank %d in Agree", r)...)
+			sb = append(sb, fmt.Sprintf("rank %d in Agree(%s)", r, wi.comm)...)
 		default:
 			src := "any"
 			if wi.src != AnySource {
@@ -178,7 +186,7 @@ func (w *world) deadlockError() error {
 			if wi.tag != AnyTag {
 				tag = fmt.Sprintf("%d", wi.tag)
 			}
-			sb = append(sb, fmt.Sprintf("rank %d in Recv(src=%s, tag=%s)", r, src, tag)...)
+			sb = append(sb, fmt.Sprintf("rank %d in Recv(src=%s, tag=%s, %s)", r, src, tag, wi.comm)...)
 		}
 	}
 	if len(sb) == 0 {
@@ -197,6 +205,8 @@ type Comm struct {
 	collSeq   int    // per-rank collective sequence number
 	splitsRun int    // per-rank split sequence number
 	agreeSeq  int    // per-rank Agree round sequence number
+	failFast  bool   // fail-fast receives (see FailFast, revoke.go)
+	label     string // diagnostic name (see SetLabel, revoke.go)
 }
 
 // Rank returns the caller's rank within the communicator.
@@ -263,9 +273,15 @@ func run(size int, o Options, fn func(*Comm) error) (float64, error) {
 				w.live--
 				if p != nil {
 					// A dead rank (crash injection or a genuine bug)
-					// is visible to RecvDeadline and Agree; wake every
-					// waiter so they can fail fast.
+					// is visible to RecvDeadline, Agree and fail-fast
+					// receives; wake every waiter so they can fail
+					// fast. The epoch bump marks their registrations
+					// stale — like Revoke and every send — so the
+					// deadlock check below treats them as
+					// wakeup-pending instead of misreading the death
+					// itself as a deadlock.
 					w.dead[r] = true
+					w.epoch++
 					w.allBox()
 				}
 				if w.live > 0 && w.failed == nil && w.deadlocked() {
@@ -427,6 +443,7 @@ func (c *Comm) recvDetect(src, tag int, detect bool) (data []byte, actualSrc, ac
 	w := c.w
 	me := c.WorldRank()
 	box := w.boxes[me]
+	desc := ""
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	for {
@@ -436,8 +453,16 @@ func (c *Comm) recvDetect(src, tag int, detect bool) (data []byte, actualSrc, ac
 		if m, cr, ok := c.matchLocked(box, wantWorldSrc, tag); ok {
 			return m.data, cr, m.tag
 		}
+		// Queued matches are delivered above even on a revoked or
+		// failing communicator; only a receive that would block fails.
+		if err := c.revokedOrDeadLocked(); err != nil {
+			panic(commFailure{err})
+		}
 		if detect {
-			w.waiting[me] = waitInfo{epoch: w.epoch, src: wantWorldSrc, tag: tag}
+			if desc == "" {
+				desc = c.describe()
+			}
+			w.waiting[me] = waitInfo{epoch: w.epoch, src: wantWorldSrc, tag: tag, comm: desc}
 			if w.deadlocked() {
 				err := w.deadlockError()
 				delete(w.waiting, me)
@@ -879,6 +904,9 @@ func (c *Comm) TryRecv(src, tag int) (data []byte, actualSrc, actualTag int, ok 
 	}
 	if m, cr, ok := c.matchLocked(box, wantWorldSrc, tag); ok {
 		return m.data, cr, m.tag, true
+	}
+	if err := c.revokedOrDeadLocked(); err != nil {
+		panic(commFailure{err})
 	}
 	return nil, 0, 0, false
 }

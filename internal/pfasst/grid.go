@@ -1,0 +1,99 @@
+package pfasst
+
+import (
+	"fmt"
+
+	"repro/internal/mpi"
+)
+
+// GridSolver exposes the resilient block attempt to the full-grid
+// (PS×PT) recovery loop in internal/core. At PS=1 the whole recovery
+// protocol lives in runResilient, because a block abort only ever
+// involves the one time communicator. At PS>1 the decision to commit
+// or abort must be agreed over the entire PS×PT grid — after a spatial
+// rank dies, the survivors re-decompose the particle state and rebuild
+// every communicator — and that outer loop belongs to the layer that
+// owns the spatial decomposition. The split of responsibilities:
+//
+//	core (runGridResilient)   grid-wide agreement, shrink, state
+//	                          redistribution, checkpoint orchestration,
+//	                          guard commits, retry/abort policy
+//	pfasst (GridSolver)       one fault-aware block attempt on the
+//	                          current time communicator
+//
+// A GridSolver is bound to one generation of communicators: after a
+// shrink the core rebuilds the level systems on the new spatial
+// communicator and constructs a fresh GridSolver around them, passing
+// the SAME *Result so sweep counts and per-block diagnostics keep
+// accumulating across rebuilds.
+type GridSolver struct {
+	cfg    Config
+	levels []*level
+	res    *Result
+	pb     probe
+}
+
+// NewGridSolver validates cfg (the same checks Run applies) and builds
+// the level hierarchy. res receives sweep counts, residuals and
+// resilience counters; pass the same res to successor solvers after a
+// rebuild.
+func NewGridSolver(cfg Config, res *Result) (*GridSolver, error) {
+	if len(cfg.Levels) < 2 {
+		return nil, fmt.Errorf("pfasst: need at least 2 levels, got %d", len(cfg.Levels))
+	}
+	if cfg.Iterations < 1 {
+		return nil, fmt.Errorf("pfasst: iterations %d < 1", cfg.Iterations)
+	}
+	if cfg.FineSweeps < 1 {
+		cfg.FineSweeps = 1
+	}
+	if cfg.CoarseSweeps < 1 {
+		cfg.CoarseSweeps = 1
+	}
+	levels, err := buildLevels(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &GridSolver{cfg: cfg, levels: levels, res: res, pb: newProbe(cfg.Tel)}, nil
+}
+
+// BlockAttempt runs one fault-aware block attempt (predictor, V-cycle
+// iterations, trailing sweep, resilient end broadcast) on the time
+// communicator cur, starting this rank's slice at tn from block-start
+// state u0. Every receive carries the Resilience deadline and message
+// tags embed gen, so a retried attempt never consumes stale traffic.
+// It returns the committed-candidate block end value, or an error that
+// wraps ErrBlockAbort — the caller folds that into the grid-wide
+// agreement and decides commit, retry or shrink. It does NOT commit
+// anything itself.
+func (s *GridSolver) BlockAttempt(cur *mpi.Comm, tn, dt float64, u0 []float64, block, gen int) ([]float64, error) {
+	return runBlockResilient(cur, s.cfg, s.levels, tn, dt, u0, block, gen, s.res, &s.pb)
+}
+
+// ErrBlockAbort is the typed failure wrapped by every abort an attempt
+// can produce (deadline expiry, dead peer, injected loss); match with
+// errors.Is to distinguish a retryable abort from a hard error.
+var ErrBlockAbort = errBlockAbort
+
+// RecordRestart counts one aborted-and-redone block attempt.
+func (s *GridSolver) RecordRestart() {
+	s.res.BlockRestarts++
+	s.pb.restarts.Inc()
+}
+
+// RecordDegraded counts one block executed at reduced parallelism
+// (shrunken grid or redundant-serial fallback).
+func (s *GridSolver) RecordDegraded() {
+	s.res.DegradedBlocks++
+	s.pb.degraded.Inc()
+}
+
+// RecordShrink counts one communicator contraction after rank deaths.
+func (s *GridSolver) RecordShrink() { s.pb.shrinks.Inc() }
+
+// RecordSerialSweeps accounts fine-level SDC sweeps executed by the
+// degraded serial fallback outside BlockAttempt.
+func (s *GridSolver) RecordSerialSweeps(n int) {
+	s.res.SweepsFine += n
+	s.pb.fineSweeps.Add(int64(n))
+}

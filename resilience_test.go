@@ -6,7 +6,6 @@ package nbody
 // tolerance; misconfigurations must be rejected up front.
 
 import (
-	"errors"
 	"testing"
 )
 
@@ -101,19 +100,20 @@ func TestFacadeRejectsBadResilienceConfigs(t *testing.T) {
 	if _, _, err := RunSpaceTime(cfg, sys, 0, 0.1, 2); err == nil {
 		t.Fatal("crash plan without Resilience.Enabled accepted")
 	}
-	// Crash recovery needs PS=1 (spatial ranks have no redundancy):
-	// rejected up front with the typed capability sentinel.
+	// Crash recovery at PS>1 used to be rejected with ErrUnsupported;
+	// the grid-resilient loop (spatial shrink + re-decomposition) now
+	// accepts and survives it.
 	cfg = chaosConfig(2, 2)
 	cfg.Resilience.FaultPlan = "crash=0@block:0"
-	if _, _, err := RunSpaceTime(cfg, sys, 0, 0.1, 2); !errors.Is(err, ErrUnsupported) {
-		t.Fatalf("crash plan with PS>1: want ErrUnsupported, got %v", err)
+	if _, _, err := RunSpaceTime(cfg, sys, 0, 0.1, 2); err != nil {
+		t.Fatalf("crash plan with PS>1 no longer supported: %v", err)
 	}
-	// The guard layer composes with PS > 1 on the plain path, but not
-	// with the resilient loop's own agreement protocol.
+	// The guard layer composes with the resilient loop at any PS:
+	// corruption and crash verdicts share the per-block grid agreement.
 	cfg = chaosConfig(2, 2)
 	cfg.Guard.Enabled = true
-	if _, _, err := RunSpaceTime(cfg, sys, 0, 0.1, 2); !errors.Is(err, ErrUnsupported) {
-		t.Fatalf("guard + resilience with PS>1: want ErrUnsupported, got %v", err)
+	if _, _, err := RunSpaceTime(cfg, sys, 0, 0.1, 2); err != nil {
+		t.Fatalf("guard + resilience with PS>1 no longer supported: %v", err)
 	}
 	// Malformed plan strings are reported, not ignored.
 	cfg = chaosConfig(2, 1)

@@ -20,10 +20,13 @@ import (
 )
 
 // ErrUnsupported is the sentinel of capability rejections: the
-// configuration names a combination the solver does not (yet) support
-// — crash recovery with PS > 1, or the guard layer combined with
-// resilient time stepping at PS > 1. Test with
-// errors.Is(err, nbody.ErrUnsupported).
+// configuration names a combination the solver does not (yet) support.
+// The two historical cases — crash recovery with PS > 1, and the guard
+// layer combined with resilient time stepping at PS > 1 — are both
+// supported since the grid-resilient loop landed (DESIGN.md §12), so
+// the solver currently accepts every well-formed configuration; the
+// sentinel is kept for callers that probe capabilities with
+// errors.Is(err, nbody.ErrUnsupported) and for future rejections.
 var ErrUnsupported = errors.New("nbody: unsupported configuration")
 
 // RunStats is a merged telemetry snapshot of a run: counters summed
@@ -109,8 +112,11 @@ type GuardConfig struct {
 	// Enabled turns the guard layer on. Works at any PS: with PS > 1
 	// the ladder's redo/rollback/abort verdicts are agreed over the
 	// spatial communicator and the physics invariants are monitored as
-	// global sums (DESIGN.md §15). Combining the guard with
-	// Resilience.Enabled still requires PS = 1.
+	// global sums (DESIGN.md §15). Composes with Resilience.Enabled at
+	// any PS — corruption verdicts and crash verdicts fold into the
+	// same per-block grid agreement, so a guarded redo and a
+	// concurrent rank crash interleave without tearing a block
+	// (DESIGN.md §12).
 	Enabled bool
 	// FlipPlan is a fault.ParseMem spec describing seeded bit flips,
 	// e.g. "rate=5e-4,in=state+tree,bits=52-63" (domains: state, tree,
@@ -136,10 +142,14 @@ type GuardConfig struct {
 // ResilienceConfig is the facade's resilience block: a seeded fault
 // plan to inject, and the recovery machinery to survive it.
 type ResilienceConfig struct {
-	// Enabled turns on resilient PFASST (deadline receives, block
-	// agreement commits, shrink-and-redo crash recovery, serial-SDC
-	// degraded tail). Fault injection without Enabled exercises the
-	// plain solver, which absorbs transient plans but dies on crashes.
+	// Enabled turns on resilient time stepping (deadline receives,
+	// block agreement commits, shrink-and-redo crash recovery,
+	// serial-SDC degraded fallback). At PS = 1 recovery shrinks the
+	// time communicator; at PS > 1 the full-grid protocol shrinks both
+	// communicator families and re-decomposes the particle state onto
+	// the surviving spatial width (DESIGN.md §12). Fault injection
+	// without Enabled exercises the plain solver, which absorbs
+	// transient plans but dies on crashes.
 	Enabled bool
 	// FaultPlan is a fault.Parse spec ("drop=0.05,crash=1@iter:1", see
 	// internal/fault); empty injects nothing.
@@ -149,12 +159,21 @@ type ResilienceConfig struct {
 	// RecvTimeout bounds every pipelined receive (0 = default).
 	RecvTimeout time.Duration
 	// CheckpointDir persists committed block state for crash-safe
-	// restarts; Resume continues from the checkpoint found there.
+	// restarts; Resume continues from the checkpoint found there. At
+	// PS = 1 this is a single NBLV file; at PS > 1 it is a directory of
+	// per-column shards under one checksummed manifest, restorable onto
+	// a run with a DIFFERENT PS (resume and shrink-recovery share the
+	// re-decomposition path).
 	CheckpointDir string
 	Resume        bool
 	// FallbackSweeps is the serial-SDC sweep count of the degraded
 	// tail (0 = default).
 	FallbackSweeps int
+	// MaxBlockRetries bounds consecutive redo attempts of one block
+	// that make no progress — at PS = 1, attempts without a
+	// communicator shrink; at PS > 1, recovery rounds without a newly
+	// agreed rank death (0 = default).
+	MaxBlockRetries int
 }
 
 // DefaultSpaceTime returns the paper's PFASST(2,2,·) configuration.
@@ -232,27 +251,21 @@ func RunSpaceTime(cfg SpaceTimeConfig, sys *System, t0, t1 float64, nsteps int) 
 		if err != nil {
 			return nil, SpaceTimeStats{}, err
 		}
-		if !plan.Transient() {
-			// A crash can only be survived by the resilient time loop,
-			// and only the time communicator knows how to shrink: the
-			// spatial tree has no redundancy to absorb a lost rank.
-			if !rz.Enabled {
-				return nil, SpaceTimeStats{}, fmt.Errorf("nbody: fault plan %q injects a crash; set Resilience.Enabled", rz.FaultPlan)
-			}
-			if cfg.PS > 1 {
-				return nil, SpaceTimeStats{}, fmt.Errorf(
-					"%w: crash recovery requires PS=1 (have PS=%d) — only the time communicator can shrink",
-					ErrUnsupported, cfg.PS)
-			}
+		if !plan.Transient() && !rz.Enabled {
+			// A crash can only be survived by the resilient loops: the
+			// PS=1 time-shrink loop, or the full-grid recovery protocol
+			// at PS>1 (spatial shrink + re-decomposition).
+			return nil, SpaceTimeStats{}, fmt.Errorf("nbody: fault plan %q injects a crash; set Resilience.Enabled", rz.FaultPlan)
 		}
 	}
 	if rz.Enabled {
 		ccfg.Resilience = pfasst.Resilience{
-			Enabled:        true,
-			RecvTimeout:    rz.RecvTimeout,
-			CheckpointDir:  rz.CheckpointDir,
-			Resume:         rz.Resume,
-			FallbackSweeps: rz.FallbackSweeps,
+			Enabled:         true,
+			RecvTimeout:     rz.RecvTimeout,
+			CheckpointDir:   rz.CheckpointDir,
+			Resume:          rz.Resume,
+			FallbackSweeps:  rz.FallbackSweeps,
+			MaxBlockRetries: rz.MaxBlockRetries,
 		}
 	}
 
@@ -261,15 +274,6 @@ func RunSpaceTime(cfg SpaceTimeConfig, sys *System, t0, t1 float64, nsteps int) 
 		return nil, SpaceTimeStats{}, fmt.Errorf("nbody: Guard.FlipPlan %q set without Guard.Enabled", gc.FlipPlan)
 	}
 	if gc.Enabled {
-		if rz.Enabled && cfg.PS > 1 {
-			// The resilient loop folds guard verdicts into its own
-			// shrink/agree protocol, which only spans the time
-			// communicator; composing both with spatial parallelism is
-			// not supported yet.
-			return nil, SpaceTimeStats{}, fmt.Errorf(
-				"%w: guard layer combined with resilient time stepping requires PS=1 (have PS=%d)",
-				ErrUnsupported, cfg.PS)
-		}
 		pol := guard.Policy{
 			Enabled:      true,
 			MaxRecompute: gc.MaxRecompute,
@@ -313,10 +317,12 @@ func RunSpaceTime(cfg SpaceTimeConfig, sys *System, t0, t1 float64, nsteps int) 
 		// block-end broadcast invariant), so in resilient mode any
 		// surviving slice may write the output — the nominal writer may
 		// have been the crashed rank. The plain path keeps its single
-		// writer (slice PT−1).
-		if res.TimeSlice == cfg.PT-1 || rz.Enabled {
+		// writer (slice PT−1). Ranks the grid-resilient path retired
+		// after a shrink hold no share; the decomposition is indexed by
+		// the FINAL spatial width, which recovery may have reduced.
+		if res.Participated && (res.TimeSlice == cfg.PT-1 || rz.Enabled) {
 			n := sys.N()
-			lo := n * res.SpatialIndex / cfg.PS
+			lo := n * res.SpatialIndex / res.SpatialRanks
 			copy(out.Particles[lo:lo+res.Local.N()], res.Local.Particles)
 			if res.SpatialIndex == 0 && res.TimeSlice > statsSlice {
 				statsSlice = res.TimeSlice
