@@ -81,6 +81,28 @@ go test -race -count=1 -timeout 10m \
 # parser — malformed specs must surface as errors, never panics.
 go test -run '^$' -fuzz FuzzParseMem -fuzztime 10s ./internal/fault/
 
+# Server lane: build the job daemon, run the server, scheduler and
+# chaos suites once more under the race detector with -count=1 (the
+# drain/restart bitwise property, the goroutine-leak guard and the
+# kill-during-drain recovery are the concurrency-sensitive parts), and
+# lint the new packages explicitly.
+daemon_bin=$(mktemp)
+go build -o "$daemon_bin" ./cmd/nbodyd
+rm -f "$daemon_bin"
+go test -race -count=1 -timeout 15m ./internal/server/ ./internal/sched/
+go run ./cmd/nbodylint ./internal/server/ ./internal/sched/ ./cmd/nbodyd/
+
+# Server chaos benchmark: a job fleet clean vs under the chaos plan
+# (jobs/sec, p50/p99 latency, bitwise agreement after crash retries)
+# plus a drain+restart cycle, recorded in BENCH_PR9.json.
+go run ./cmd/experiments -exp serverchaos -server-out BENCH_PR9.json
+
+# Job-spec and journal fuzz smoke: mutated specs and journal images
+# against the admission parser and the journal replayer — typed
+# errors, never panics; valid journals must re-encode byte-identically.
+go test -run '^$' -fuzz FuzzJobSpec -fuzztime 10s ./internal/server/
+go test -run '^$' -fuzz FuzzJournal -fuzztime 10s ./internal/server/
+
 # Scaling lane: the joint space-time study at lane scale under the race
 # detector — the executed 8-rank PSxPT grid (both branch exchange
 # modes) plus the modeled grid up to 4096 ranks, asserting the Fig. 5 x

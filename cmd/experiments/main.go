@@ -13,6 +13,7 @@
 //	experiments -exp sdcguard   # bit-flip guard matrix (writes BENCH_PR4.json; not part of "all")
 //	experiments -exp sdcguard -flipseed 7 -fliprate 1e-3  # custom sweep seed and per-word rate
 //	experiments -exp gridfault  # PS×PT grid fault tolerance (writes BENCH_PR8.json; not part of "all")
+//	experiments -exp serverchaos  # job-daemon chaos benchmark (writes BENCH_PR9.json; not part of "all")
 //	experiments -exp fig5-xt    # joint space-time scaling study (writes BENCH_PR7.json; not part of "all")
 //	experiments -branch batched -exp phases       # batched branch exchange (prefetch visible)
 //	experiments -balance -exp phases              # work-weighted domain decomposition
@@ -36,6 +37,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/hot"
+	"repro/internal/serverbench"
 	"repro/internal/telemetry"
 	"repro/internal/tree"
 )
@@ -45,7 +47,7 @@ func main() {
 	log.SetPrefix("experiments: ")
 	var (
 		fig        = flag.String("fig", "", "figure to regenerate: 1, 5, 7a, 7b, 8 (empty = all)")
-		exp        = flag.String("exp", "", "extra experiment: theta-ratio, residuals, speedup-model, ablations, phases, bench-pr2, bench-pr6, chaos, sdcguard, gridfault, fig5-xt")
+		exp        = flag.String("exp", "", "extra experiment: theta-ratio, residuals, speedup-model, ablations, phases, bench-pr2, bench-pr6, chaos, sdcguard, gridfault, fig5-xt, serverchaos")
 		faultSeed  = flag.Int64("faultseed", 42, "fault-plan seed of the chaos experiment")
 		faultPlan  = flag.String("faultplan", "", "override the chaos experiment's crash plan (fault.Parse spec)")
 		chaosOut   = flag.String("chaosout", "BENCH_PR3.json", "output path of the chaos record")
@@ -53,6 +55,7 @@ func main() {
 		flipRate   = flag.Float64("fliprate", 2e-4, "per-word flip rate of the sdcguard sweep plan")
 		guardOut   = flag.String("guardout", "BENCH_PR4.json", "output path of the sdcguard record")
 		gridOut    = flag.String("gridout", "BENCH_PR8.json", "output path of the gridfault record")
+		serverOut  = flag.String("server-out", "BENCH_PR9.json", "output path of the serverchaos record")
 		traversal  = flag.String("traversal", "", `tree traversal mode: "list" (default) or "recursive"`)
 		stealGrain = flag.Int("stealgrain", 0, "work-stealing chunk size in leaf groups (0 = automatic)")
 		threads    = flag.Int("threads", 0, "traversal worker goroutines per rank (>1 = hybrid scheduler; phases experiment)")
@@ -85,7 +88,8 @@ func main() {
 	// quoted in SCALING.md to keep the handbook honest).
 	figs := []string{"1", "5", "7a", "7b", "8"}
 	exps := []string{"theta-ratio", "residuals", "speedup-model", "ablations",
-		"phases", "bench-pr2", "bench-pr6", "chaos", "sdcguard", "gridfault", "fig5-xt"}
+		"phases", "bench-pr2", "bench-pr6", "chaos", "sdcguard", "gridfault", "fig5-xt",
+		"serverchaos"}
 	known := func(name string, set []string) bool {
 		for _, s := range set {
 			if strings.EqualFold(name, s) {
@@ -279,6 +283,21 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("wrote %s\n\n", *gridOut)
+	}
+	// serverchaos is opt-in only: it drives a job-daemon fleet clean,
+	// under the server chaos plan, and through a drain+restart cycle,
+	// and records BENCH_PR9.json (jobs/sec, p50/p99 latency, bitwise
+	// agreement after crash retries and resume).
+	if strings.EqualFold(*exp, "serverchaos") {
+		res, tb, err := serverbench.BenchPR9(serverbench.DefaultBenchPR9())
+		if err != nil {
+			log.Fatal(err)
+		}
+		emit("bench_pr9", tb)
+		if err := res.WriteJSON(*serverOut); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n\n", *serverOut)
 	}
 	fig7cfg := experiments.DefaultFig7()
 	if *paper {

@@ -10,6 +10,7 @@ package checkpoint
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"io"
@@ -19,6 +20,15 @@ import (
 	"repro/internal/particle"
 	"repro/internal/vec"
 )
+
+// ErrCorrupt is the typed sentinel wrapped by every corruption
+// rejection of this package — bad magic, unsupported version, torn or
+// truncated data, structural bounds violations, and checksum
+// mismatches, across all three formats (NBCK, NBLV, NBLM). Callers
+// distinguish "present but damaged" (errors.Is(err, ErrCorrupt) —
+// refuse to restart silently) from "absent" (errors.Is(err,
+// fs.ErrNotExist) — fresh start is safe).
+var ErrCorrupt = errors.New("checkpoint: corrupt")
 
 const (
 	magic   = "NBCK"
@@ -72,19 +82,19 @@ func Read(r io.Reader) (*particle.System, error) {
 
 	head := make([]byte, 4+20)
 	if _, err := io.ReadFull(tr, head); err != nil {
-		return nil, fmt.Errorf("checkpoint: short header: %w", err)
+		return nil, fmt.Errorf("checkpoint: short header: %w: %w", ErrCorrupt, err)
 	}
 	if string(head[:4]) != magic {
-		return nil, fmt.Errorf("checkpoint: bad magic %q", head[:4])
+		return nil, fmt.Errorf("checkpoint: bad magic %q: %w", head[:4], ErrCorrupt)
 	}
 	if v := binary.LittleEndian.Uint32(head[4:]); v != version {
-		return nil, fmt.Errorf("checkpoint: unsupported version %d", v)
+		return nil, fmt.Errorf("checkpoint: unsupported version %d: %w", v, ErrCorrupt)
 	}
 	sigma := math.Float64frombits(binary.LittleEndian.Uint64(head[8:]))
 	count := binary.LittleEndian.Uint64(head[16:])
 	const maxParticles = 1 << 32
 	if count > maxParticles {
-		return nil, fmt.Errorf("checkpoint: implausible particle count %d", count)
+		return nil, fmt.Errorf("checkpoint: implausible particle count %d: %w", count, ErrCorrupt)
 	}
 
 	// Grow incrementally: the header's count is untrusted until the
@@ -99,7 +109,7 @@ func Read(r io.Reader) (*particle.System, error) {
 	rec := make([]byte, recSize)
 	for i := uint64(0); i < count; i++ {
 		if _, err := io.ReadFull(tr, rec); err != nil {
-			return nil, fmt.Errorf("checkpoint: short record %d: %w", i, err)
+			return nil, fmt.Errorf("checkpoint: short record %d: %w: %w", i, ErrCorrupt, err)
 		}
 		f := func(j int) float64 {
 			return math.Float64frombits(binary.LittleEndian.Uint64(rec[8*j:]))
@@ -115,10 +125,10 @@ func Read(r io.Reader) (*particle.System, error) {
 	want := h.Sum64()
 	var sum [8]byte
 	if _, err := io.ReadFull(r, sum[:]); err != nil {
-		return nil, fmt.Errorf("checkpoint: missing checksum: %w", err)
+		return nil, fmt.Errorf("checkpoint: missing checksum: %w: %w", ErrCorrupt, err)
 	}
 	if got := binary.LittleEndian.Uint64(sum[:]); got != want {
-		return nil, fmt.Errorf("checkpoint: checksum mismatch (file %x, computed %x)", got, want)
+		return nil, fmt.Errorf("checkpoint: checksum mismatch (file %x, computed %x): %w", got, want, ErrCorrupt)
 	}
 	return sys, nil
 }

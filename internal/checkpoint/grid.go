@@ -136,13 +136,13 @@ func ReadGridManifest(r io.Reader) (*GridState, error) {
 	tr := io.TeeReader(r, h)
 	head := make([]byte, 4+44)
 	if _, err := io.ReadFull(tr, head); err != nil {
-		return nil, fmt.Errorf("checkpoint: short manifest header: %w", err)
+		return nil, fmt.Errorf("checkpoint: short manifest header: %w: %w", ErrCorrupt, err)
 	}
 	if string(head[:4]) != gridMagic {
-		return nil, fmt.Errorf("checkpoint: bad manifest magic %q", head[:4])
+		return nil, fmt.Errorf("checkpoint: bad manifest magic %q: %w", head[:4], ErrCorrupt)
 	}
 	if v := binary.LittleEndian.Uint32(head[4:]); v != gridVersion {
-		return nil, fmt.Errorf("checkpoint: unsupported manifest version %d", v)
+		return nil, fmt.Errorf("checkpoint: unsupported manifest version %d: %w", v, ErrCorrupt)
 	}
 	g := &GridState{
 		Block:      int(int64(binary.LittleEndian.Uint64(head[8:]))),
@@ -152,36 +152,36 @@ func ReadGridManifest(r io.Reader) (*GridState, error) {
 		T:          math.Float64frombits(binary.LittleEndian.Uint64(head[40:])),
 	}
 	if g.Block < 0 || g.StepsDone < 0 || g.TimeRanks < 1 {
-		return nil, fmt.Errorf("checkpoint: bad manifest header (block=%d steps=%d timeRanks=%d)",
-			g.Block, g.StepsDone, g.TimeRanks)
+		return nil, fmt.Errorf("checkpoint: bad manifest header (block=%d steps=%d timeRanks=%d): %w",
+			g.Block, g.StepsDone, g.TimeRanks, ErrCorrupt)
 	}
 	if g.SpaceRanks < 1 || g.SpaceRanks > maxCols {
-		return nil, fmt.Errorf("checkpoint: manifest column count %d outside [1, %d]", g.SpaceRanks, maxCols)
+		return nil, fmt.Errorf("checkpoint: manifest column count %d outside [1, %d]: %w", g.SpaceRanks, maxCols, ErrCorrupt)
 	}
 	var b8 [8]byte
 	if _, err := io.ReadFull(tr, b8[:]); err != nil {
-		return nil, fmt.Errorf("checkpoint: short manifest diagnostics count: %w", err)
+		return nil, fmt.Errorf("checkpoint: short manifest diagnostics count: %w: %w", ErrCorrupt, err)
 	}
 	nd := binary.LittleEndian.Uint64(b8[:])
 	if nd > maxDiag {
-		return nil, fmt.Errorf("checkpoint: %d diagnostics exceed limit %d", nd, maxDiag)
+		return nil, fmt.Errorf("checkpoint: %d diagnostics exceed limit %d: %w", nd, maxDiag, ErrCorrupt)
 	}
 	for i := uint64(0); i < nd; i++ {
 		if _, err := io.ReadFull(tr, b8[:]); err != nil {
-			return nil, fmt.Errorf("checkpoint: short manifest diagnostics: %w", err)
+			return nil, fmt.Errorf("checkpoint: short manifest diagnostics: %w: %w", ErrCorrupt, err)
 		}
 		g.Diag = append(g.Diag, math.Float64frombits(binary.LittleEndian.Uint64(b8[:])))
 	}
 	for i := 0; i < g.SpaceRanks; i++ {
 		if _, err := io.ReadFull(tr, b8[:]); err != nil {
-			return nil, fmt.Errorf("checkpoint: column %d: short dim: %w", i, err)
+			return nil, fmt.Errorf("checkpoint: column %d: short dim: %w: %w", i, ErrCorrupt, err)
 		}
 		dim := int(int64(binary.LittleEndian.Uint64(b8[:])))
 		if dim < 0 || dim > maxLevelDim {
-			return nil, fmt.Errorf("checkpoint: column %d: dim %d outside [0, %d]", i, dim, maxLevelDim)
+			return nil, fmt.Errorf("checkpoint: column %d: dim %d outside [0, %d]: %w", i, dim, maxLevelDim, ErrCorrupt)
 		}
 		if _, err := io.ReadFull(tr, b8[:]); err != nil {
-			return nil, fmt.Errorf("checkpoint: column %d: short shard checksum: %w", i, err)
+			return nil, fmt.Errorf("checkpoint: column %d: short shard checksum: %w: %w", i, ErrCorrupt, err)
 		}
 		g.Dims = append(g.Dims, dim)
 		g.ShardSums = append(g.ShardSums, binary.LittleEndian.Uint64(b8[:]))
@@ -189,10 +189,10 @@ func ReadGridManifest(r io.Reader) (*GridState, error) {
 	want := h.Sum64()
 	var sum [8]byte
 	if _, err := io.ReadFull(r, sum[:]); err != nil {
-		return nil, fmt.Errorf("checkpoint: missing manifest checksum: %w", err)
+		return nil, fmt.Errorf("checkpoint: missing manifest checksum: %w: %w", ErrCorrupt, err)
 	}
 	if got := binary.LittleEndian.Uint64(sum[:]); got != want {
-		return nil, fmt.Errorf("checkpoint: manifest checksum mismatch (file %x, computed %x)", got, want)
+		return nil, fmt.Errorf("checkpoint: manifest checksum mismatch (file %x, computed %x): %w", got, want, ErrCorrupt)
 	}
 	return g, nil
 }
@@ -320,22 +320,26 @@ func LoadGrid(dir string) (*GridLoad, error) {
 		path := ShardPath(dir, g.Block, col)
 		raw, sum, err := fileSum(path)
 		if err != nil {
-			return nil, fmt.Errorf("checkpoint: shard %d: %w", col, err)
+			// A shard the committed manifest names is gone: that is a
+			// damaged checkpoint SET, not an absent checkpoint, so the
+			// os error's ErrNotExist must not leak (a resume would treat
+			// it as "no checkpoint" and silently restart from t0).
+			return nil, fmt.Errorf("checkpoint: shard %d missing or unreadable (%s): %w", col, err.Error(), ErrCorrupt)
 		}
 		if sum != g.ShardSums[col] {
-			return nil, fmt.Errorf("checkpoint: shard %d checksum mismatch with manifest (file %x, manifest %x)",
-				col, sum, g.ShardSums[col])
+			return nil, fmt.Errorf("checkpoint: shard %d checksum mismatch with manifest (file %x, manifest %x): %w",
+				col, sum, g.ShardSums[col], ErrCorrupt)
 		}
 		st, err := ReadLevels(strings.NewReader(string(raw)))
 		if err != nil {
 			return nil, fmt.Errorf("checkpoint: shard %d: %w", col, err)
 		}
 		if st.Block != g.Block {
-			return nil, fmt.Errorf("checkpoint: shard %d holds block %d, manifest wants %d", col, st.Block, g.Block)
+			return nil, fmt.Errorf("checkpoint: shard %d holds block %d, manifest wants %d: %w", col, st.Block, g.Block, ErrCorrupt)
 		}
 		if len(st.U) == 0 || len(st.U[0]) != g.Dims[col] {
-			return nil, fmt.Errorf("checkpoint: shard %d fine dim %d, manifest wants %d",
-				col, lenFine(st), g.Dims[col])
+			return nil, fmt.Errorf("checkpoint: shard %d fine dim %d, manifest wants %d: %w",
+				col, lenFine(st), g.Dims[col], ErrCorrupt)
 		}
 		out.U = append(out.U, st.U[0]...)
 	}

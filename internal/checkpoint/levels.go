@@ -120,14 +120,14 @@ func ReadLevels(r io.Reader) (*LevelState, error) {
 
 	head := make([]byte, 4+44)
 	if _, err := io.ReadFull(tr, head); err != nil {
-		return nil, fmt.Errorf("checkpoint: short level header: %w", err)
+		return nil, fmt.Errorf("checkpoint: short level header: %w: %w", ErrCorrupt, err)
 	}
 	if string(head[:4]) != levelMagic {
-		return nil, fmt.Errorf("checkpoint: bad level magic %q", head[:4])
+		return nil, fmt.Errorf("checkpoint: bad level magic %q: %w", head[:4], ErrCorrupt)
 	}
 	version := binary.LittleEndian.Uint32(head[4:])
 	if version < 1 || version > levelVersion {
-		return nil, fmt.Errorf("checkpoint: unsupported level version %d", version)
+		return nil, fmt.Errorf("checkpoint: unsupported level version %d: %w", version, ErrCorrupt)
 	}
 	st := &LevelState{
 		Block:     int(int64(binary.LittleEndian.Uint64(head[8:]))),
@@ -136,22 +136,22 @@ func ReadLevels(r io.Reader) (*LevelState, error) {
 		T:         math.Float64frombits(binary.LittleEndian.Uint64(head[32:])),
 	}
 	if st.Block < 0 || st.StepsDone < 0 || st.TimeRanks < 0 {
-		return nil, fmt.Errorf("checkpoint: negative level header field (block=%d steps=%d ranks=%d)",
-			st.Block, st.StepsDone, st.TimeRanks)
+		return nil, fmt.Errorf("checkpoint: negative level header field (block=%d steps=%d ranks=%d): %w",
+			st.Block, st.StepsDone, st.TimeRanks, ErrCorrupt)
 	}
 	nLevels := binary.LittleEndian.Uint64(head[40:])
 	if nLevels > maxLevels {
-		return nil, fmt.Errorf("checkpoint: %d levels exceeds limit %d", nLevels, maxLevels)
+		return nil, fmt.Errorf("checkpoint: %d levels exceeds limit %d: %w", nLevels, maxLevels, ErrCorrupt)
 	}
 	st.U = make([][]float64, 0, nLevels)
 	var b8 [8]byte
 	for l := uint64(0); l < nLevels; l++ {
 		if _, err := io.ReadFull(tr, b8[:]); err != nil {
-			return nil, fmt.Errorf("checkpoint: level %d: short dim: %w", l, err)
+			return nil, fmt.Errorf("checkpoint: level %d: short dim: %w: %w", l, ErrCorrupt, err)
 		}
 		dim := binary.LittleEndian.Uint64(b8[:])
 		if dim > maxLevelDim {
-			return nil, fmt.Errorf("checkpoint: level %d: dim %d exceeds limit %d", l, dim, maxLevelDim)
+			return nil, fmt.Errorf("checkpoint: level %d: dim %d exceeds limit %d: %w", l, dim, maxLevelDim, ErrCorrupt)
 		}
 		// The dim is untrusted until the checksum verifies: read in
 		// bounded chunks rather than pre-allocating dim outright.
@@ -160,7 +160,7 @@ func ReadLevels(r io.Reader) (*LevelState, error) {
 		for got := uint64(0); got < dim; {
 			n := min64(dim-got, uint64(len(buf)/8))
 			if _, err := io.ReadFull(tr, buf[:8*n]); err != nil {
-				return nil, fmt.Errorf("checkpoint: level %d: short data at %d/%d: %w", l, got, dim, err)
+				return nil, fmt.Errorf("checkpoint: level %d: short data at %d/%d: %w: %w", l, got, dim, ErrCorrupt, err)
 			}
 			for i := uint64(0); i < n; i++ {
 				u = append(u, math.Float64frombits(binary.LittleEndian.Uint64(buf[8*i:])))
@@ -171,15 +171,15 @@ func ReadLevels(r io.Reader) (*LevelState, error) {
 	}
 	if version >= 2 {
 		if _, err := io.ReadFull(tr, b8[:]); err != nil {
-			return nil, fmt.Errorf("checkpoint: short diagnostics count: %w", err)
+			return nil, fmt.Errorf("checkpoint: short diagnostics count: %w: %w", ErrCorrupt, err)
 		}
 		nd := binary.LittleEndian.Uint64(b8[:])
 		if nd > maxDiag {
-			return nil, fmt.Errorf("checkpoint: %d diagnostics exceed limit %d", nd, maxDiag)
+			return nil, fmt.Errorf("checkpoint: %d diagnostics exceed limit %d: %w", nd, maxDiag, ErrCorrupt)
 		}
 		for i := uint64(0); i < nd; i++ {
 			if _, err := io.ReadFull(tr, b8[:]); err != nil {
-				return nil, fmt.Errorf("checkpoint: short diagnostics: %w", err)
+				return nil, fmt.Errorf("checkpoint: short diagnostics: %w: %w", ErrCorrupt, err)
 			}
 			st.Diag = append(st.Diag, math.Float64frombits(binary.LittleEndian.Uint64(b8[:])))
 		}
@@ -187,10 +187,10 @@ func ReadLevels(r io.Reader) (*LevelState, error) {
 	want := h.Sum64()
 	var sum [8]byte
 	if _, err := io.ReadFull(r, sum[:]); err != nil {
-		return nil, fmt.Errorf("checkpoint: missing level checksum: %w", err)
+		return nil, fmt.Errorf("checkpoint: missing level checksum: %w: %w", ErrCorrupt, err)
 	}
 	if got := binary.LittleEndian.Uint64(sum[:]); got != want {
-		return nil, fmt.Errorf("checkpoint: level checksum mismatch (file %x, computed %x)", got, want)
+		return nil, fmt.Errorf("checkpoint: level checksum mismatch (file %x, computed %x): %w", got, want, ErrCorrupt)
 	}
 	return st, nil
 }

@@ -15,6 +15,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/field"
@@ -216,6 +217,20 @@ type Config struct {
 	// redo and a concurrent rank crash interleave safely (DESIGN.md
 	// §12).
 	Guard guard.Policy
+	// Ctx enables cooperative cancellation: the block loops poll it at
+	// every block boundary (never mid-block) and the run returns an
+	// error wrapping pfasst.ErrCanceled, identically on every rank. The
+	// decision is collective — rank 0's observation of the Context is
+	// broadcast (plain/guarded path) or folded into the block agreement
+	// (resilient paths) — so no rank ever aborts asymmetrically out of
+	// a deadline-less collective. Nil changes nothing.
+	Ctx context.Context
+	// OnBlock, when non-nil, is invoked with the index of the block
+	// about to run, from exactly one world rank, before the Context is
+	// polled: a hook that cancels the Context stops the run at that
+	// block boundary deterministically (the server's chaos plan and
+	// progress telemetry hang off this).
+	OnBlock func(block int)
 }
 
 // Default returns the paper's configuration PFASST(2,2,·) with
@@ -331,6 +346,15 @@ func RunSpaceTime(world *mpi.Comm, cfg Config, full *particle.System, t0, t1 flo
 		Tel:          cfg.Tel,
 		Resilience:   cfg.Resilience,
 		Guard:        grd,
+		Ctx:          cfg.Ctx,
+	}
+	if spatial == 0 {
+		// The resilient PS=1 loop calls the hook from time rank 0; with
+		// one spatial column that is exactly one world rank per block.
+		pcfg.OnBlock = cfg.OnBlock
+	}
+	if cfg.Ctx != nil || cfg.OnBlock != nil {
+		pcfg.CancelCheck = cancelCheck(world, cfg.Ctx, cfg.OnBlock)
 	}
 	u0 := local.PackNew()
 	pres, err := pfasst.Run(timeComm, pcfg, t0, t1, nsteps, u0)
@@ -349,6 +373,33 @@ func RunSpaceTime(world *mpi.Comm, cfg Config, full *particle.System, t0, t1 flo
 		FineEvals:    fineSys.Evals,
 		CoarseEvals:  coarseSys.Evals,
 	}, nil
+}
+
+// cancelCheck returns the collective block-boundary cancellation
+// predicate used by the plain and guarded time loops: world rank 0
+// invokes the OnBlock hook, polls the Context, and broadcasts the
+// verdict, so every rank of every spatial column aborts the same block
+// together (an asymmetric local return would strand peers in
+// deadline-less spatial collectives).
+func cancelCheck(world *mpi.Comm, ctx context.Context, onBlock func(int)) func(int) error {
+	return func(block int) error {
+		flag := []byte{0}
+		if world.Rank() == 0 {
+			if onBlock != nil {
+				onBlock(block)
+			}
+			if ctx != nil && ctx.Err() != nil {
+				flag[0] = 1
+			}
+		}
+		if got := world.Bcast(0, flag); len(got) == 1 && got[0] != 0 {
+			if err := pfasst.CancelErr(ctx, block); err != nil {
+				return err
+			}
+			return fmt.Errorf("core: block %d: %w: canceled at root", block, pfasst.ErrCanceled)
+		}
+		return nil
+	}
 }
 
 // RunSpaceSerialSDC is the purely space-parallel baseline: time-serial

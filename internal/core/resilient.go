@@ -623,6 +623,31 @@ func runGridResilient(world *mpi.Comm, cfg Config, full *particle.System, t0, t1
 			break
 		}
 
+		// Cancellation folds into an extra world agreement (gated on
+		// Ctx/OnBlock, so ctx-free runs are untouched): every rank —
+		// active or retired — takes the identical abort-or-continue
+		// decision, and a cancel lands only on the committed block-start
+		// state, which the grid checkpoint already covers.
+		if cfg.Ctx != nil || cfg.OnBlock != nil {
+			if cfg.OnBlock != nil && active && col == 0 && timeComm.Rank() == 0 {
+				cfg.OnBlock(block)
+			}
+			cerr := pfasst.CancelErr(cfg.Ctx, block)
+			av := int64(2)
+			if cerr != nil {
+				av = 0
+			}
+			if world.Agree(av) == 0 {
+				if cerr == nil {
+					cerr = pfasst.CancelErr(cfg.Ctx, block)
+				}
+				if cerr == nil {
+					cerr = fmt.Errorf("core: block %d: %w: canceled on a peer", block, pfasst.ErrCanceled)
+				}
+				return Result{}, cerr
+			}
+		}
+
 		world.FaultPoint("block", stepsDone)
 		var blockEnd []float64
 		var aerr error

@@ -1,0 +1,27 @@
+package pfasst
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// ErrCanceled is the typed cancellation failure: a run whose Context
+// was canceled (or whose deadline expired) returns an error wrapping
+// this sentinel — match with errors.Is. Cancellation is cooperative
+// and only ever takes effect at a block boundary, so a canceled run
+// never abandons a half-advanced block: the last committed block-start
+// state (and its checkpoint, when CheckpointDir is set) remains the
+// consistent resume point.
+var ErrCanceled = errors.New("pfasst: run canceled")
+
+// CancelErr converts a canceled context into the typed block-boundary
+// cancellation error; it returns nil while ctx is nil or still live.
+// The returned error wraps both ErrCanceled and the context's cause,
+// so errors.Is works against either.
+func CancelErr(ctx context.Context, block int) error {
+	if ctx == nil || ctx.Err() == nil {
+		return nil
+	}
+	return fmt.Errorf("pfasst: block %d: %w: %w", block, ErrCanceled, context.Cause(ctx))
+}

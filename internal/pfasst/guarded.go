@@ -49,6 +49,11 @@ func runGuarded(comm *mpi.Comm, cfg Config, levels []*level, t0, t1 float64, nst
 	g.CommitState(u, 0)
 
 	for b := 0; b < blocks; b++ {
+		if cfg.CancelCheck != nil {
+			if cerr := cfg.CancelCheck(b); cerr != nil {
+				return cerr
+			}
+		}
 		if v := g.ScrubState(u); g.Agree(v != nil) {
 			if v == nil {
 				v = g.PeerViolation("state-checksum", b)

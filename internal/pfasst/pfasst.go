@@ -13,6 +13,7 @@
 package pfasst
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -70,6 +71,27 @@ type Config struct {
 	// and recovery ladder around every block (see guarded.go). Nil
 	// runs the plain solver unchanged, byte for byte.
 	Guard *guard.Guard
+	// Ctx enables cooperative cancellation on the resilient path: the
+	// loop polls it at every block boundary and folds the verdict into
+	// the block agreement, so every survivor aborts the same block with
+	// an error wrapping ErrCanceled. The plain and guarded loops do not
+	// read it — cancellation there must be a collective decision, which
+	// CancelCheck provides. Nil (the zero value) changes nothing.
+	Ctx context.Context
+	// CancelCheck, when non-nil, is called by the plain and guarded
+	// loops at the top of every block, before any work or communication
+	// of that block; a non-nil return aborts the run with that error.
+	// The callback must return the identical verdict on every rank — an
+	// asymmetric return would strand peers in deadline-less receives —
+	// so it is expected to decide collectively (internal/core has rank
+	// 0 poll the Context and broadcast the flag). Nil keeps the plain
+	// path byte for byte unchanged.
+	CancelCheck func(block int) error
+	// OnBlock, when non-nil, is invoked by the resilient loop with the
+	// index of the block about to run, from time rank 0 only, before
+	// the cancellation poll — so a hook that cancels the Context stops
+	// the run at that exact block boundary, deterministically.
+	OnBlock func(block int)
 }
 
 // Result reports one rank's view of a PFASST solve.
@@ -179,6 +201,11 @@ func Run(comm *mpi.Comm, cfg Config, t0, t1 float64, nsteps int, u0 []float64) (
 	}
 
 	for b := 0; b < blocks; b++ {
+		if cfg.CancelCheck != nil {
+			if cerr := cfg.CancelCheck(b); cerr != nil {
+				return Result{}, cerr
+			}
+		}
 		tn := t0 + (float64(b*p)+float64(rank))*dt
 		blockRes := runBlock(comm, cfg, levels, tn, dt, u, b, &res, &pb)
 		// The last rank's slice-end value starts the next block.

@@ -152,6 +152,31 @@ func runResilient(comm *mpi.Comm, cfg Config, levels []*level, t0, t1 float64, n
 	retries := 0
 	gpending := 0
 	for stepsDone < nsteps {
+		// Cancellation is folded into an extra agreement so every
+		// survivor takes the identical abort-or-continue decision; the
+		// round is gated on Ctx/OnBlock being set, keeping ctx-free runs
+		// byte-identical. u still holds the committed block-start state,
+		// and the checkpoint (when configured) already covers it, so a
+		// cancel here abandons nothing.
+		if cfg.Ctx != nil || cfg.OnBlock != nil {
+			if cfg.OnBlock != nil && cur.Rank() == 0 {
+				cfg.OnBlock(block)
+			}
+			cerr := CancelErr(cfg.Ctx, block)
+			ok := int64(1)
+			if cerr != nil {
+				ok = 0
+			}
+			if cur.Agree(ok) == 0 {
+				if cerr == nil {
+					cerr = CancelErr(cfg.Ctx, block)
+				}
+				if cerr == nil {
+					cerr = fmt.Errorf("pfasst: block %d: %w: canceled on a peer", block, ErrCanceled)
+				}
+				return cerr
+			}
+		}
 		if v := g.ScrubState(u); v != nil {
 			return v
 		}

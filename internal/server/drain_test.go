@@ -1,0 +1,156 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// drainSpec is heavy enough that a drain reliably catches it mid-run:
+// 256 particles, 4 blocks.
+func drainSpec(tenant string, seed int64) *JobSpec {
+	spec := testSpec(tenant, seed)
+	spec.System.N = 256
+	return spec
+}
+
+// submitAll submits the specs and returns their IDs.
+func submitAll(t *testing.T, d *Daemon, specs []*JobSpec) []uint64 {
+	t.Helper()
+	ids := make([]uint64, len(specs))
+	for i, spec := range specs {
+		id, err := d.Submit(spec)
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		ids[i] = id
+	}
+	return ids
+}
+
+// waitAllDone waits for every job to reach StateDone and returns their
+// hashes keyed by ID.
+func waitAllDone(t *testing.T, d *Daemon, ids []uint64) map[uint64]string {
+	t.Helper()
+	hashes := make(map[uint64]string, len(ids))
+	for _, id := range ids {
+		st, err := d.WaitJob(id, 120*time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State != StateDone {
+			t.Fatalf("job %d state %q (err %q), want done", id, st.State, st.Error)
+		}
+		hashes[id] = st.Hash
+	}
+	return hashes
+}
+
+// TestDrainRestartBitwiseIdentical is the drain/restart property test:
+// N concurrent jobs, drain mid-block, restart on the same state
+// directory — every job must complete bitwise-identically to an
+// uninterrupted run.
+func TestDrainRestartBitwiseIdentical(t *testing.T) {
+	specs := []*JobSpec{
+		drainSpec("alice", 11),
+		drainSpec("alice", 12),
+		drainSpec("bob", 13),
+		drainSpec("bob", 14),
+	}
+	want := make([]string, len(specs))
+	for i, spec := range specs {
+		want[i] = fmt.Sprintf("%016x", cleanHash(t, spec))
+	}
+
+	dir := t.TempDir()
+	d1 := newTestDaemon(t, dir, func(c *Config) { c.Workers = 1 })
+	ids := submitAll(t, d1, specs)
+	// Catch a job mid-run — at least one committed block, more to go —
+	// then drain. The single worker keeps the rest queued, so the
+	// restart exercises both checkpoint resume and fresh re-owed runs.
+	waitCond(t, 60*time.Second, "a running job past block 0", func() bool {
+		for _, st := range d1.Jobs() {
+			if st.State == StateRunning && st.Block >= 1 && st.Block < st.Blocks {
+				return true
+			}
+		}
+		return false
+	})
+	if err := d1.Drain(); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	var interrupted int
+	for _, st := range d1.Jobs() {
+		switch st.State {
+		case StateInterrupted:
+			interrupted++
+		case StateDone, StateQueued, StateRunning:
+		default:
+			t.Fatalf("job %d state %q after drain", st.ID, st.State)
+		}
+	}
+	if interrupted == 0 {
+		t.Fatal("drain interrupted no job — the test caught nothing")
+	}
+
+	d2 := newTestDaemon(t, dir, nil)
+	defer d2.Close()
+	if got := d2.Metrics().Counters["server.jobs.resumed"]; got != int64(interrupted) {
+		t.Fatalf("restart resumed %d jobs, drain interrupted %d", got, interrupted)
+	}
+	hashes := waitAllDone(t, d2, ids)
+	for i, id := range ids {
+		if hashes[id] != want[i] {
+			t.Fatalf("job %d hash %s after drain+restart, clean run %s", id, hashes[id], want[i])
+		}
+	}
+}
+
+// TestDrainPersistsQueueAcrossRestart drains a daemon whose queue is
+// still full (worker held by a long job) and asserts every queued job
+// survives the restart and completes.
+func TestDrainPersistsQueueAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	d1 := newTestDaemon(t, dir, func(c *Config) { c.Workers = 1 })
+	// A medium job: heavy enough to be running when the drain lands,
+	// light enough to finish promptly after the restart (the suite
+	// also runs under -race).
+	long, err := d1.Submit(drainSpec("alice", 21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	queued := submitAll(t, d1, []*JobSpec{testSpec("bob", 22), testSpec("bob", 23)})
+	waitCond(t, 30*time.Second, "long job running", func() bool {
+		st, _ := d1.Job(long)
+		return st.State == StateRunning
+	})
+	if err := d1.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range queued {
+		st, _ := d1.Job(id)
+		if st.State != StateInterrupted {
+			t.Fatalf("queued job %d state %q after drain, want interrupted", id, st.State)
+		}
+	}
+
+	d2 := newTestDaemon(t, dir, nil)
+	defer d2.Close()
+	waitAllDone(t, d2, append([]uint64{long}, queued...))
+}
+
+// TestDrainIdempotentAndSubmitRejected asserts double drains agree and
+// submits during a drain fail typed.
+func TestDrainIdempotentAndSubmitRejected(t *testing.T) {
+	d := newTestDaemon(t, t.TempDir(), nil)
+	if err := d.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Drain(); err != nil {
+		t.Fatalf("second drain: %v", err)
+	}
+	if _, err := d.Submit(testSpec("alice", 31)); !errors.Is(err, ErrDraining) {
+		t.Fatalf("submit during drain: %v, want ErrDraining", err)
+	}
+}

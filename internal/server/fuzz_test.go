@@ -1,0 +1,62 @@
+package server
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// FuzzJobSpec asserts the admission parser never panics, rejects with
+// the typed sentinel, and accepts only specs whose canonical form is a
+// fixed point.
+func FuzzJobSpec(f *testing.F) {
+	f.Add(validSpecJSON())
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"tenant":"a","system":{"kind":"vortex","n":10},"t0":0,"t1":1,"steps":4,"pt":2,"ps":2}`))
+	f.Add([]byte(`{"tenant":"a","system":{"kind":"coulomb","n":10,"seed":3},"t0":0,"t1":1,"steps":4,"pt":4,"ps":1,"max_retries":2,"deadline_ms":100}`))
+	f.Add([]byte(`[1,2,3]`))
+	f.Add([]byte(`{"tenant":"a"`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		spec, err := ParseJobSpec(data)
+		if err != nil {
+			if !errors.Is(err, ErrBadSpec) {
+				t.Fatalf("untyped rejection: %v", err)
+			}
+			return
+		}
+		if verr := spec.Validate(); verr != nil {
+			t.Fatalf("accepted spec fails re-validation: %v", verr)
+		}
+		canon := spec.Canonical()
+		again, err := ParseJobSpec(canon)
+		if err != nil {
+			t.Fatalf("canonical form rejected: %v", err)
+		}
+		if !bytes.Equal(canon, again.Canonical()) {
+			t.Fatalf("canonical encoding not a fixed point: %q vs %q", canon, again.Canonical())
+		}
+	})
+}
+
+// FuzzJournal asserts journal replay never panics, classifies every
+// failure as torn or corrupt, and round-trips valid journals
+// byte-identically.
+func FuzzJournal(f *testing.F) {
+	f.Add([]byte(""))
+	f.Add(journalHeader())
+	f.Add(reencode(testRecords()))
+	f.Add(reencode(testRecords())[:20])
+	f.Add([]byte("NBLJ\x01\x00\x00\x00\xff\xff\xff\xff"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		recs, err := ReplayJournal(bytes.NewReader(data))
+		if err != nil {
+			if !errors.Is(err, ErrJournalCorrupt) && !errors.Is(err, ErrJournalTorn) {
+				t.Fatalf("untyped journal failure: %v", err)
+			}
+			return
+		}
+		if !bytes.Equal(reencode(recs), data) {
+			t.Fatalf("valid journal does not round-trip byte-identically (%d records, %d bytes)", len(recs), len(data))
+		}
+	})
+}

@@ -1,0 +1,219 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// maxSpecBytes bounds a submitted job spec body.
+const maxSpecBytes = 1 << 20
+
+// httpError is the JSON error envelope of every non-2xx response.
+type httpError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	// The connection is the only sink left; an encode failure here has
+	// no better channel than the already-started response.
+	_ = enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, httpError{Error: err.Error()})
+}
+
+// submitSeq numbers submissions for the chaos plan's slow-client
+// verdicts (the job ID is not known until admission).
+var submitSeq atomic.Uint64
+
+// Handler returns the daemon's HTTP API:
+//
+//	POST   /jobs             submit a JobSpec         202 | 400 | 429 | 503
+//	GET    /jobs             list all jobs            200
+//	GET    /jobs/{id}        one job's status         200 | 404
+//	DELETE /jobs/{id}        cancel a job             202 | 404
+//	GET    /jobs/{id}/result completed result (NBCK)  200 | 404 | 409
+//	GET    /metrics          telemetry snapshot       200
+//	GET    /metrics/stream   chunked NDJSON snapshots 200
+//	POST   /drain            begin graceful drain     202
+//	GET    /healthz          liveness                 200 | 503
+//
+// Backpressure rejections (429 quota/full, 503 draining) carry a
+// Retry-After header.
+func (d *Daemon) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", d.handleSubmit)
+	mux.HandleFunc("GET /jobs", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, d.Jobs())
+	})
+	mux.HandleFunc("GET /jobs/{id}", d.handleJob)
+	mux.HandleFunc("DELETE /jobs/{id}", d.handleCancel)
+	mux.HandleFunc("GET /jobs/{id}/result", d.handleResult)
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, d.Metrics())
+	})
+	mux.HandleFunc("GET /metrics/stream", d.handleMetricsStream)
+	mux.HandleFunc("POST /drain", func(w http.ResponseWriter, r *http.Request) {
+		go func() {
+			// The drain may be the chaos plan's simulated kill; the
+			// restart path, not this response, owns that outcome.
+			_ = d.Drain()
+		}()
+		w.WriteHeader(http.StatusAccepted)
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		if d.Draining() {
+			writeErr(w, http.StatusServiceUnavailable, ErrDraining)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	return mux
+}
+
+func (d *Daemon) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if delay, slow := d.cfg.Chaos.SlowSubmit(submitSeq.Add(1)); slow {
+		// The slow-client attack: stall between accepting the request
+		// and reading its body, holding the handler goroutine open.
+		time.Sleep(delay)
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxSpecBytes))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("%w: %w", ErrBadSpec, err))
+		return
+	}
+	spec, err := ParseJobSpec(body)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	id, err := d.Submit(spec)
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusAccepted, map[string]any{"id": id, "state": StateQueued})
+	case errors.Is(err, ErrDraining):
+		w.Header().Set("Retry-After", "5")
+		writeErr(w, http.StatusServiceUnavailable, err)
+	case errors.Is(err, ErrQueueFull) || errors.Is(err, ErrQuota):
+		w.Header().Set("Retry-After", "1")
+		writeErr(w, http.StatusTooManyRequests, err)
+	default:
+		writeErr(w, http.StatusInternalServerError, err)
+	}
+}
+
+func (d *Daemon) jobID(w http.ResponseWriter, r *http.Request) (uint64, bool) {
+	id, err := strconv.ParseUint(r.PathValue("id"), 10, 64)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("%w: bad id %q", ErrUnknownJob, r.PathValue("id")))
+		return 0, false
+	}
+	return id, true
+}
+
+func (d *Daemon) handleJob(w http.ResponseWriter, r *http.Request) {
+	id, ok := d.jobID(w, r)
+	if !ok {
+		return
+	}
+	st, err := d.Job(id)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (d *Daemon) handleCancel(w http.ResponseWriter, r *http.Request) {
+	id, ok := d.jobID(w, r)
+	if !ok {
+		return
+	}
+	if err := d.Cancel(id); err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, map[string]any{"id": id})
+}
+
+func (d *Daemon) handleResult(w http.ResponseWriter, r *http.Request) {
+	id, ok := d.jobID(w, r)
+	if !ok {
+		return
+	}
+	st, err := d.Job(id)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	if st.State != StateDone {
+		writeErr(w, http.StatusConflict, fmt.Errorf("server: job %d state %q, result requires %q", id, st.State, StateDone))
+		return
+	}
+	data, err := os.ReadFile(d.ResultPath(id))
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, fmt.Errorf("server: job %d result: %w", id, err))
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("X-Nbody-State-Hash", st.Hash)
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(data)
+}
+
+// handleMetricsStream streams telemetry snapshots as newline-delimited
+// JSON, one per interval, flushed after each line — the live per-job /
+// per-tenant telemetry feed. Query parameters: n (snapshot count,
+// default 10, max 10000) and interval_ms (default 500).
+func (d *Daemon) handleMetricsStream(w http.ResponseWriter, r *http.Request) {
+	n := 10
+	if s := r.URL.Query().Get("n"); s != "" {
+		v, err := strconv.Atoi(s)
+		if err != nil || v < 1 || v > 10000 {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("server: bad n %q", s))
+			return
+		}
+		n = v
+	}
+	interval := 500 * time.Millisecond
+	if s := r.URL.Query().Get("interval_ms"); s != "" {
+		v, err := strconv.Atoi(s)
+		if err != nil || v < 1 || v > 60000 {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("server: bad interval_ms %q", s))
+			return
+		}
+		interval = time.Duration(v) * time.Millisecond
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	for i := 0; i < n; i++ {
+		if err := enc.Encode(d.Metrics()); err != nil {
+			return
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		if i == n-1 {
+			break
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		case <-time.After(interval):
+		}
+	}
+}

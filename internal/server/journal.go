@@ -1,0 +1,267 @@
+package server
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// The NBLJ job journal is the daemon's crash-safe source of truth: an
+// append-only, per-record-checksummed log of every job lifecycle
+// transition. A restart replays it to rebuild the job table — jobs
+// with no terminal record are re-enqueued and resume from their block
+// checkpoints. Records are fsynced before the transition they describe
+// takes effect (write-ahead), so any kill point leaves either a fully
+// framed record or a torn tail.
+//
+// File layout:
+//
+//	"NBLJ" | version u32 | record*
+//
+// Record framing (all integers little-endian):
+//
+//	dataLen u32 | kind u8 | job u64 | data [dataLen] | sum u64
+//
+// where sum is FNV-1a over the preceding record bytes. A record that
+// stops at EOF mid-frame is a torn tail (the crash interrupted an
+// append): OpenJournal truncates it and continues. Any other framing
+// or checksum damage is corruption: the journal is refused with a
+// typed error, never silently restarted.
+const (
+	journalMagic   = "NBLJ"
+	journalVersion = 1
+	maxRecordData  = 1 << 20
+	recordOverhead = 4 + 1 + 8 + 8 // frame bytes around data
+)
+
+// RecordKind discriminates journal records.
+type RecordKind uint8
+
+// Journal record kinds. Submit carries the canonical spec JSON; Start
+// carries the attempt number (u64); Done carries the result state
+// hash (u64); Fail, Cancel and Shed carry a human-readable reason.
+const (
+	RecSubmit RecordKind = 1
+	RecStart  RecordKind = 2
+	RecDone   RecordKind = 3
+	RecFail   RecordKind = 4
+	RecCancel RecordKind = 5
+	RecShed   RecordKind = 6
+)
+
+// Record is one journal entry.
+type Record struct {
+	Kind RecordKind
+	Job  uint64
+	Data []byte
+}
+
+// ErrJournalCorrupt is the sentinel of journal damage that is NOT a
+// torn tail: checksum mismatch, bad magic, implausible framing, or an
+// unreplayable record body. A corrupt journal refuses to open — the
+// operator must intervene; the daemon never silently drops committed
+// history.
+var ErrJournalCorrupt = errors.New("server: journal corrupt")
+
+// ErrJournalTorn is the sentinel of a torn tail: the file ends in the
+// middle of a record frame, the signature of a crash mid-append.
+// OpenJournal handles it internally (truncate and continue); ReplayJournal
+// surfaces it for callers that must distinguish.
+var ErrJournalTorn = errors.New("server: journal torn tail")
+
+func fnv64(parts ...[]byte) uint64 {
+	h := uint64(14695981039346656037)
+	for _, p := range parts {
+		for _, b := range p {
+			h ^= uint64(b)
+			h *= 1099511628211
+		}
+	}
+	return h
+}
+
+// EncodeRecord frames one record, checksum included.
+func EncodeRecord(rec Record) []byte {
+	buf := make([]byte, recordOverhead+len(rec.Data))
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(len(rec.Data)))
+	buf[4] = byte(rec.Kind)
+	binary.LittleEndian.PutUint64(buf[5:13], rec.Job)
+	copy(buf[13:], rec.Data)
+	sum := fnv64(buf[:13+len(rec.Data)])
+	binary.LittleEndian.PutUint64(buf[13+len(rec.Data):], sum)
+	return buf
+}
+
+// journalHeader returns the 8-byte file header.
+func journalHeader() []byte {
+	head := make([]byte, 8)
+	copy(head, journalMagic)
+	binary.LittleEndian.PutUint32(head[4:], journalVersion)
+	return head
+}
+
+// replay parses the byte image of a journal. It returns the decoded
+// records and the offset of the last fully framed record's end. A torn
+// tail yields ErrJournalTorn (records before it are still returned);
+// other damage yields ErrJournalCorrupt.
+func replay(data []byte) (recs []Record, goodOff int64, err error) {
+	if len(data) < 8 {
+		return nil, 0, fmt.Errorf("%w: short header (%d bytes)", ErrJournalCorrupt, len(data))
+	}
+	if string(data[:4]) != journalMagic {
+		return nil, 0, fmt.Errorf("%w: bad magic %q", ErrJournalCorrupt, data[:4])
+	}
+	if v := binary.LittleEndian.Uint32(data[4:8]); v != journalVersion {
+		return nil, 0, fmt.Errorf("%w: version %d, want %d", ErrJournalCorrupt, v, journalVersion)
+	}
+	off := int64(8)
+	rest := data[8:]
+	for len(rest) > 0 {
+		if len(rest) < 13 {
+			return recs, off, fmt.Errorf("%w: %d trailing bytes at offset %d", ErrJournalTorn, len(rest), off)
+		}
+		dataLen := binary.LittleEndian.Uint32(rest[0:4])
+		if dataLen > maxRecordData {
+			return recs, off, fmt.Errorf("%w: record at offset %d claims %d data bytes (max %d)",
+				ErrJournalCorrupt, off, dataLen, maxRecordData)
+		}
+		total := recordOverhead + int(dataLen)
+		if len(rest) < total {
+			return recs, off, fmt.Errorf("%w: record at offset %d truncated (%d of %d bytes)",
+				ErrJournalTorn, off, len(rest), total)
+		}
+		body := rest[:13+int(dataLen)]
+		want := binary.LittleEndian.Uint64(rest[13+int(dataLen) : total])
+		if got := fnv64(body); got != want {
+			return recs, off, fmt.Errorf("%w: record at offset %d checksum mismatch (file %016x, computed %016x)",
+				ErrJournalCorrupt, off, want, got)
+		}
+		kind := RecordKind(rest[4])
+		if kind < RecSubmit || kind > RecShed {
+			return recs, off, fmt.Errorf("%w: record at offset %d has unknown kind %d", ErrJournalCorrupt, off, kind)
+		}
+		rec := Record{Kind: kind, Job: binary.LittleEndian.Uint64(rest[5:13])}
+		if dataLen > 0 {
+			rec.Data = append([]byte(nil), rest[13:13+int(dataLen)]...)
+		}
+		recs = append(recs, rec)
+		off += int64(total)
+		rest = rest[total:]
+	}
+	return recs, off, nil
+}
+
+// ReplayJournal decodes a full journal image. Valid journals
+// round-trip byte-identically: journalHeader() plus the concatenated
+// EncodeRecord of the returned records reproduces the input exactly
+// (the fuzz harness asserts this).
+func ReplayJournal(r io.Reader) ([]Record, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %w", ErrJournalCorrupt, err)
+	}
+	recs, _, rerr := replay(data)
+	return recs, rerr
+}
+
+// Journal is an open append-only job journal. Append is
+// concurrency-safe and fsyncs each record before returning — the
+// write-ahead guarantee the restart path depends on.
+type Journal struct {
+	mu sync.Mutex
+	f  *os.File
+}
+
+// OpenJournal opens (or creates) the journal at path, replaying its
+// records. A torn tail — the signature of a crash mid-append — is
+// truncated away and the journal continues; any other damage returns
+// a wrapped ErrJournalCorrupt and the journal stays closed.
+func OpenJournal(path string) (*Journal, []Record, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("server: open journal: %w", err)
+	}
+	data, err := io.ReadAll(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("server: read journal: %w", err)
+	}
+	if len(data) == 0 {
+		if _, err := f.Write(journalHeader()); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("server: write journal header: %w", err)
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("server: sync journal header: %w", err)
+		}
+		return &Journal{f: f}, nil, nil
+	}
+	recs, goodOff, rerr := replay(data)
+	switch {
+	case rerr == nil:
+	case errors.Is(rerr, ErrJournalTorn):
+		if err := f.Truncate(goodOff); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("server: truncate torn journal: %w", err)
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("server: sync truncated journal: %w", err)
+		}
+	default:
+		f.Close()
+		return nil, nil, rerr
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("server: seek journal end: %w", err)
+	}
+	return &Journal{f: f}, recs, nil
+}
+
+// Append frames, writes and fsyncs one record.
+func (j *Journal) Append(rec Record) error {
+	if len(rec.Data) > maxRecordData {
+		return fmt.Errorf("server: journal record data %d bytes exceeds %d", len(rec.Data), maxRecordData)
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return errors.New("server: journal closed")
+	}
+	if _, err := j.f.Write(EncodeRecord(rec)); err != nil {
+		return fmt.Errorf("server: journal append: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("server: journal sync: %w", err)
+	}
+	return nil
+}
+
+// Close closes the journal file. Safe to call more than once.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	err := j.f.Close()
+	j.f = nil
+	return err
+}
+
+// reencode rebuilds the byte image of a journal from its records —
+// the round-trip half of the fuzz invariant.
+func reencode(recs []Record) []byte {
+	var buf bytes.Buffer
+	buf.Write(journalHeader())
+	for _, rec := range recs {
+		buf.Write(EncodeRecord(rec))
+	}
+	return buf.Bytes()
+}

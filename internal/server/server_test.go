@@ -1,0 +1,364 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	nbody "repro"
+)
+
+// testSpec is the standard small job of the daemon tests: a 48-particle
+// blob on a 2×1 grid, 8 steps → 4 PFASST blocks, well under a second.
+func testSpec(tenant string, seed int64) *JobSpec {
+	spec := &JobSpec{
+		Tenant:     tenant,
+		System:     SystemSpec{Kind: "blob", N: 48, Seed: seed, Sigma: 0.2},
+		T0:         0,
+		T1:         0.25,
+		Steps:      8,
+		PT:         2,
+		PS:         1,
+		MaxRetries: -1,
+	}
+	if err := spec.Validate(); err != nil {
+		panic(err)
+	}
+	return spec
+}
+
+// slowSpec is a job heavy enough to still be running while the test
+// pokes at the daemon.
+func slowSpec(tenant string, seed int64) *JobSpec {
+	spec := testSpec(tenant, seed)
+	spec.System.N = 800
+	spec.Steps = 16
+	return spec
+}
+
+var (
+	cleanHashMu sync.Mutex
+	cleanHashes = map[string]uint64{}
+)
+
+// cleanHash runs the spec's solve uninterrupted (outside the daemon)
+// and fingerprints the final state — the bitwise reference every
+// chaos and drain test compares against. Cached per canonical spec.
+func cleanHash(t *testing.T, spec *JobSpec) uint64 {
+	t.Helper()
+	key := string(spec.Canonical())
+	cleanHashMu.Lock()
+	h, ok := cleanHashes[key]
+	cleanHashMu.Unlock()
+	if ok {
+		return h
+	}
+	sys, err := spec.BuildSystem()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := spec.SolverConfig(t.TempDir())
+	out, _, err := nbody.RunSpaceTime(cfg, sys, spec.T0, spec.T1, spec.Steps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h = stateHash(out)
+	cleanHashMu.Lock()
+	cleanHashes[key] = h
+	cleanHashMu.Unlock()
+	return h
+}
+
+func newTestDaemon(t *testing.T, dir string, mutate func(*Config)) *Daemon {
+	t.Helper()
+	cfg := Config{Dir: dir, Workers: 2, QueueDepth: 16}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	d, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func waitCond(t *testing.T, timeout time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// corruptFileMiddle flips one byte in the middle of a file.
+func corruptFileMiddle(t *testing.T, path string) {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x01
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDaemonRunsJobBitwise(t *testing.T) {
+	spec := testSpec("alice", 1)
+	d := newTestDaemon(t, t.TempDir(), nil)
+	defer d.Close()
+	id, err := d.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := d.WaitJob(id, 60*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != StateDone {
+		t.Fatalf("job state %q (err %q), want done", st.State, st.Error)
+	}
+	if want := fmt.Sprintf("%016x", cleanHash(t, spec)); st.Hash != want {
+		t.Fatalf("daemon hash %s, clean run hash %s", st.Hash, want)
+	}
+	snap := d.Metrics()
+	if snap.Counters["server.jobs.submitted"] != 1 || snap.Counters["server.jobs.completed"] != 1 {
+		t.Fatalf("counters %+v", snap.Counters)
+	}
+	if snap.Counters["server.tenant.alice.completed"] != 1 {
+		t.Fatalf("tenant counters %+v", snap.Counters)
+	}
+}
+
+func TestHTTPSubmitStatusResultMetrics(t *testing.T) {
+	d := newTestDaemon(t, t.TempDir(), nil)
+	defer d.Close()
+	srv := httptest.NewServer(d.Handler())
+	defer srv.Close()
+
+	resp, err := http.Post(srv.URL+"/jobs", "application/json", bytes.NewReader(validSpecJSON()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status %d, want 202", resp.StatusCode)
+	}
+	var acc struct {
+		ID uint64 `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&acc); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	var status JobStatus
+	waitCond(t, 60*time.Second, "job done over HTTP", func() bool {
+		r, err := http.Get(fmt.Sprintf("%s/jobs/%d", srv.URL, acc.ID))
+		if err != nil {
+			return false
+		}
+		defer r.Body.Close()
+		if r.StatusCode != http.StatusOK {
+			return false
+		}
+		if err := json.NewDecoder(r.Body).Decode(&status); err != nil {
+			return false
+		}
+		return status.State == StateDone || status.State == StateFailed
+	})
+	if status.State != StateDone {
+		t.Fatalf("job state %q (err %q)", status.State, status.Error)
+	}
+
+	r, err := http.Get(fmt.Sprintf("%s/jobs/%d/result", srv.URL, acc.ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Body.Close()
+	if r.StatusCode != http.StatusOK || r.Header.Get("Content-Type") != "application/octet-stream" {
+		t.Fatalf("result status %d type %q", r.StatusCode, r.Header.Get("Content-Type"))
+	}
+	if got := r.Header.Get("X-Nbody-State-Hash"); got != status.Hash {
+		t.Fatalf("result hash header %q, status hash %q", got, status.Hash)
+	}
+
+	m, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Body.Close()
+	var snap struct {
+		Counters map[string]int64 `json:"counters"`
+	}
+	if err := json.NewDecoder(m.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Counters["server.jobs.completed"] < 1 {
+		t.Fatalf("metrics counters %+v", snap.Counters)
+	}
+
+	s, err := http.Get(srv.URL + "/metrics/stream?n=2&interval_ms=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Body.Close()
+	var lines int
+	dec := json.NewDecoder(s.Body)
+	for dec.More() {
+		var one map[string]any
+		if err := dec.Decode(&one); err != nil {
+			t.Fatal(err)
+		}
+		lines++
+	}
+	if lines != 2 {
+		t.Fatalf("stream returned %d snapshots, want 2", lines)
+	}
+}
+
+func TestHTTPBadSpecAndUnknownJob(t *testing.T) {
+	d := newTestDaemon(t, t.TempDir(), nil)
+	defer d.Close()
+	srv := httptest.NewServer(d.Handler())
+	defer srv.Close()
+
+	resp, err := http.Post(srv.URL+"/jobs", "application/json", strings.NewReader(`{"tenant":"UPPER"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad spec status %d, want 400", resp.StatusCode)
+	}
+	var he httpError
+	if err := json.NewDecoder(resp.Body).Decode(&he); err != nil || !strings.Contains(he.Error, "bad job spec") {
+		t.Fatalf("error body %+v (%v)", he, err)
+	}
+
+	r, err := http.Get(srv.URL + "/jobs/999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Body.Close()
+	if r.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown job status %d, want 404", r.StatusCode)
+	}
+}
+
+func TestHTTPDrainRejectsWith503(t *testing.T) {
+	d := newTestDaemon(t, t.TempDir(), nil)
+	defer d.Close()
+	srv := httptest.NewServer(d.Handler())
+	defer srv.Close()
+
+	resp, err := http.Post(srv.URL+"/drain", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("drain status %d, want 202", resp.StatusCode)
+	}
+	waitCond(t, 10*time.Second, "healthz to report draining", func() bool {
+		h, err := http.Get(srv.URL + "/healthz")
+		if err != nil {
+			return false
+		}
+		defer h.Body.Close()
+		return h.StatusCode == http.StatusServiceUnavailable
+	})
+	r, err := http.Post(srv.URL+"/jobs", "application/json", bytes.NewReader(validSpecJSON()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Body.Close()
+	if r.StatusCode != http.StatusServiceUnavailable || r.Header.Get("Retry-After") == "" {
+		t.Fatalf("submit during drain: status %d, Retry-After %q", r.StatusCode, r.Header.Get("Retry-After"))
+	}
+}
+
+func TestCancelQueuedAndRunning(t *testing.T) {
+	d := newTestDaemon(t, t.TempDir(), func(c *Config) { c.Workers = 1; c.QueueDepth = 4 })
+	defer d.Close()
+	running, err := d.Submit(slowSpec("alice", 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitCond(t, 30*time.Second, "first job running", func() bool {
+		st, _ := d.Job(running)
+		return st.State == StateRunning
+	})
+	queued, err := d.Submit(testSpec("alice", 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Cancel(queued); err != nil {
+		t.Fatal(err)
+	}
+	st, _ := d.Job(queued)
+	if st.State != StateCanceled || !strings.Contains(st.Error, "job canceled") {
+		t.Fatalf("queued cancel: state %q err %q", st.State, st.Error)
+	}
+	if err := d.Cancel(running); err != nil {
+		t.Fatal(err)
+	}
+	st, err = d.WaitJob(running, 60*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != StateCanceled || !strings.Contains(st.Error, "job canceled") {
+		t.Fatalf("running cancel: state %q err %q", st.State, st.Error)
+	}
+	if err := d.Cancel(12345); !errors.Is(err, ErrUnknownJob) {
+		t.Fatalf("unknown cancel: %v", err)
+	}
+}
+
+func TestJobDeadlineTyped(t *testing.T) {
+	d := newTestDaemon(t, t.TempDir(), nil)
+	defer d.Close()
+	spec := slowSpec("alice", 4)
+	spec.DeadlineMS = 30
+	id, err := d.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := d.WaitJob(id, 60*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != StateFailed || !strings.Contains(st.Error, "deadline exceeded") {
+		t.Fatalf("deadline job: state %q err %q", st.State, st.Error)
+	}
+}
+
+func TestCorruptJournalRefusesStart(t *testing.T) {
+	dir := t.TempDir()
+	d := newTestDaemon(t, dir, nil)
+	id, err := d.Submit(testSpec("alice", 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.WaitJob(id, 60*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	d.Close()
+
+	// Damage the journal body; a restart must refuse, typed.
+	corruptFileMiddle(t, dir+"/journal.nblj")
+	if _, err := New(Config{Dir: dir}); !errors.Is(err, ErrJournalCorrupt) {
+		t.Fatalf("restart on corrupt journal: %v, want ErrJournalCorrupt", err)
+	}
+}

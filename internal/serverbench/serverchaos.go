@@ -1,0 +1,355 @@
+// Package serverbench benchmarks the job daemon of internal/server: a
+// fleet of jobs driven through a clean daemon, a chaos daemon (slow
+// clients, worker crashes, mid-job cancels, checkpoint corruption),
+// and a drain+restart cycle, recorded in BENCH_PR9.json. It lives
+// apart from internal/experiments because internal/server imports the
+// root package: keeping the daemon out of the experiments package
+// keeps the root package's tests (which import experiments) cycle-free.
+package serverbench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/fault"
+	"repro/internal/server"
+)
+
+// BenchPR9Config parameterizes the server chaos benchmark: the same
+// job fleet driven through a clean daemon (throughput and latency
+// baseline), a chaos daemon (slow clients, worker crashes, mid-job
+// cancels, checkpoint corruption), and a drain+restart cycle.
+type BenchPR9Config struct {
+	Jobs    int // fleet size
+	Workers int // daemon worker pool
+	Queue   int // admission queue depth
+
+	N     int // particles per job
+	Steps int // time steps per job (PT = 2)
+
+	Seed      int64  // chaos plan seed
+	ChaosSpec string // fault.ParseServer spec of the chaos phase
+
+	StateDir string // daemon state root (a temp dir when empty)
+}
+
+// DefaultBenchPR9 returns the configuration recorded in
+// BENCH_PR9.json.
+func DefaultBenchPR9() BenchPR9Config {
+	return BenchPR9Config{
+		Jobs: 8, Workers: 2, Queue: 16,
+		N: 96, Steps: 8,
+		Seed:      42,
+		ChaosSpec: "slow=0.25:5ms,cancel=0.25,crash=0.5,corrupt=0.1",
+	}
+}
+
+// BenchPR9Phase is one daemon run over the fleet.
+type BenchPR9Phase struct {
+	JobsPerSec float64 `json:"jobs_per_sec"`
+	P50Ms      float64 `json:"p50_ms"`
+	P99Ms      float64 `json:"p99_ms"`
+	Completed  int     `json:"completed"`
+	Canceled   int     `json:"canceled"`
+	Failed     int     `json:"failed"`
+	// FailedTyped counts failures whose error carries a recognized
+	// sentinel (deadline, retry budget, checkpoint corruption) —
+	// acceptance demands Failed == FailedTyped.
+	FailedTyped int   `json:"failed_typed"`
+	Retried     int64 `json:"retried"`
+	// BitwiseMatches counts completed jobs whose state hash equals the
+	// clean daemon's hash for the same spec; Mismatches must be zero.
+	BitwiseMatches int `json:"bitwise_matches"`
+	Mismatches     int `json:"mismatches"`
+}
+
+// BenchPR9Result is the record written to BENCH_PR9.json.
+type BenchPR9Result struct {
+	Config BenchPR9Config `json:"config"`
+
+	Clean BenchPR9Phase `json:"clean"`
+	Chaos BenchPR9Phase `json:"chaos"`
+
+	// Drain+restart cycle: wall time of drain plus restart-to-all-done,
+	// interrupted/resumed counts, and bitwise agreement after resume.
+	DrainWallSec   float64 `json:"drain_wall_sec"`
+	RestartWallSec float64 `json:"restart_wall_sec"`
+	Interrupted    int     `json:"interrupted"`
+	Resumed        int64   `json:"resumed"`
+	DrainBitwise   bool    `json:"drain_bitwise"`
+}
+
+// WriteJSON writes the record, indented, to path.
+func (r *BenchPR9Result) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return fmt.Errorf("serverbench: encode %s: %w", path, err)
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// pr9Spec builds the i-th job of the fleet (alternating tenants,
+// distinct seeds → distinct reference hashes).
+func pr9Spec(cfg BenchPR9Config, i int) *server.JobSpec {
+	tenant := "tenant_a"
+	if i%2 == 1 {
+		tenant = "tenant_b"
+	}
+	return &server.JobSpec{
+		Tenant:     tenant,
+		System:     server.SystemSpec{Kind: "blob", N: cfg.N, Seed: int64(1000 + i), Sigma: 0.2},
+		T0:         0,
+		T1:         0.25,
+		Steps:      cfg.Steps,
+		PT:         2,
+		PS:         1,
+		MaxRetries: -1,
+	}
+}
+
+// pr9RunFleet submits the fleet to a daemon, waits for every job to
+// finish, and folds latencies and outcomes into a phase record.
+// Hashes of completed jobs land in hashes[i] (keyed by fleet index).
+func pr9RunFleet(d *server.Daemon, cfg BenchPR9Config, hashes map[int]string) (BenchPR9Phase, error) {
+	var phase BenchPR9Phase
+	latencies := make([]float64, 0, cfg.Jobs)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	errs := make([]error, cfg.Jobs)
+	start := time.Now()
+	for i := 0; i < cfg.Jobs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			t0 := time.Now()
+			id, err := d.Submit(pr9Spec(cfg, i))
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			st, err := d.WaitJob(id, 10*time.Minute)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			lat := time.Since(t0).Seconds() * 1e3
+			mu.Lock()
+			defer mu.Unlock()
+			switch st.State {
+			case server.StateDone:
+				phase.Completed++
+				latencies = append(latencies, lat)
+				hashes[i] = st.Hash
+			case server.StateCanceled:
+				phase.Canceled++
+			case server.StateFailed:
+				phase.Failed++
+				if pr9Typed(st.Error) {
+					phase.FailedTyped++
+				}
+			default:
+				errs[i] = fmt.Errorf("serverbench: job %d ended %q (%s)", id, st.State, st.Error)
+			}
+		}(i)
+	}
+	wg.Wait()
+	wall := time.Since(start).Seconds()
+	for _, err := range errs {
+		if err != nil {
+			return phase, err
+		}
+	}
+	if wall > 0 {
+		phase.JobsPerSec = float64(phase.Completed) / wall
+	}
+	sort.Float64s(latencies)
+	if n := len(latencies); n > 0 {
+		phase.P50Ms = latencies[n/2]
+		phase.P99Ms = latencies[(n*99)/100]
+	}
+	phase.Retried = d.Metrics().Counters["server.jobs.retried"]
+	return phase, nil
+}
+
+// pr9Typed reports whether a failure message carries one of the
+// daemon's typed sentinels.
+func pr9Typed(msg string) bool {
+	for _, want := range []string{
+		server.ErrJobDeadline.Error(),
+		server.ErrRetriesExhausted.Error(),
+		server.ErrCheckpointCorrupt.Error(),
+	} {
+		if strings.Contains(msg, want) {
+			return true
+		}
+	}
+	return false
+}
+
+// BenchPR9 runs the server chaos benchmark: clean fleet, chaos fleet
+// (bitwise-checked against the clean hashes), then a drain mid-fleet
+// with a restart that must finish every interrupted job
+// bitwise-identically.
+func BenchPR9(cfg BenchPR9Config) (*BenchPR9Result, *experiments.Table, error) {
+	res := &BenchPR9Result{Config: cfg}
+	stateRoot := cfg.StateDir
+	if stateRoot == "" {
+		dir, err := os.MkdirTemp("", "nbodyd-bench")
+		if err != nil {
+			return nil, nil, err
+		}
+		defer os.RemoveAll(dir)
+		stateRoot = dir
+	}
+
+	// Phase 1: clean daemon — throughput/latency baseline and the
+	// reference hashes.
+	cleanHashes := make(map[int]string)
+	d1, err := server.New(server.Config{
+		Dir: stateRoot + "/clean", Workers: cfg.Workers, QueueDepth: cfg.Queue,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	res.Clean, err = pr9RunFleet(d1, cfg, cleanHashes)
+	d1.Close()
+	if err != nil {
+		return nil, nil, err
+	}
+	res.Clean.BitwiseMatches = len(cleanHashes)
+
+	// Phase 2: chaos daemon — same fleet under the chaos plan; every
+	// completed job must match the clean hash.
+	plan, err := fault.ParseServer(cfg.ChaosSpec, cfg.Seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	chaosHashes := make(map[int]string)
+	d2, err := server.New(server.Config{
+		Dir: stateRoot + "/chaos", Workers: cfg.Workers, QueueDepth: cfg.Queue, Chaos: plan,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	res.Chaos, err = pr9RunFleet(d2, cfg, chaosHashes)
+	d2.Close()
+	if err != nil {
+		return nil, nil, err
+	}
+	for i, h := range chaosHashes {
+		if h == cleanHashes[i] {
+			res.Chaos.BitwiseMatches++
+		} else {
+			res.Chaos.Mismatches++
+		}
+	}
+
+	// Phase 3: drain mid-fleet, restart, finish — the wall time of the
+	// full cycle and bitwise agreement after resume.
+	drainDir := stateRoot + "/drain"
+	d3, err := server.New(server.Config{
+		Dir: drainDir, Workers: 1, QueueDepth: cfg.Queue,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	ids := make([]uint64, cfg.Jobs)
+	for i := 0; i < cfg.Jobs; i++ {
+		if ids[i], err = d3.Submit(pr9Spec(cfg, i)); err != nil {
+			d3.Close()
+			return nil, nil, err
+		}
+	}
+	// Let the single worker bite into the fleet, then drain.
+	deadline := time.Now().Add(time.Minute)
+	for time.Now().Before(deadline) {
+		running := false
+		for _, st := range d3.Jobs() {
+			if st.State == server.StateRunning && st.Block >= 1 {
+				running = true
+			}
+		}
+		if running {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t0 := time.Now()
+	if err := d3.Drain(); err != nil {
+		return nil, nil, err
+	}
+	res.DrainWallSec = time.Since(t0).Seconds()
+	for _, st := range d3.Jobs() {
+		if st.State == server.StateInterrupted {
+			res.Interrupted++
+		}
+	}
+
+	t1 := time.Now()
+	d4, err := server.New(server.Config{
+		Dir: drainDir, Workers: cfg.Workers, QueueDepth: cfg.Queue,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	res.Resumed = d4.Metrics().Counters["server.jobs.resumed"]
+	res.DrainBitwise = true
+	for i, id := range ids {
+		st, err := d4.WaitJob(id, 10*time.Minute)
+		if err != nil {
+			d4.Close()
+			return nil, nil, err
+		}
+		if st.State != server.StateDone {
+			d4.Close()
+			return nil, nil, fmt.Errorf("serverbench: job %d ended %q after restart (%s)", id, st.State, st.Error)
+		}
+		if st.Hash != cleanHashes[i] {
+			res.DrainBitwise = false
+		}
+	}
+	res.RestartWallSec = time.Since(t1).Seconds()
+	d4.Close()
+
+	tb := &experiments.Table{
+		Title:  "Server chaos: job daemon under adversity (BENCH_PR9.json)",
+		Header: []string{"phase", "jobs/s", "p50 ms", "p99 ms", "done", "canceled", "failed(typed)", "bitwise"},
+	}
+	tb.Rows = append(tb.Rows, []string{
+		"clean",
+		fmt.Sprintf("%.2f", res.Clean.JobsPerSec),
+		fmt.Sprintf("%.0f", res.Clean.P50Ms),
+		fmt.Sprintf("%.0f", res.Clean.P99Ms),
+		fmt.Sprintf("%d", res.Clean.Completed),
+		fmt.Sprintf("%d", res.Clean.Canceled),
+		fmt.Sprintf("%d(%d)", res.Clean.Failed, res.Clean.FailedTyped),
+		fmt.Sprintf("%d/%d", res.Clean.BitwiseMatches, res.Clean.Completed),
+	})
+	tb.Rows = append(tb.Rows, []string{
+		"chaos",
+		fmt.Sprintf("%.2f", res.Chaos.JobsPerSec),
+		fmt.Sprintf("%.0f", res.Chaos.P50Ms),
+		fmt.Sprintf("%.0f", res.Chaos.P99Ms),
+		fmt.Sprintf("%d", res.Chaos.Completed),
+		fmt.Sprintf("%d", res.Chaos.Canceled),
+		fmt.Sprintf("%d(%d)", res.Chaos.Failed, res.Chaos.FailedTyped),
+		fmt.Sprintf("%d/%d", res.Chaos.BitwiseMatches, res.Chaos.Completed),
+	})
+	tb.Rows = append(tb.Rows, []string{
+		"drain+restart",
+		fmt.Sprintf("drain %.2fs", res.DrainWallSec),
+		fmt.Sprintf("restart %.2fs", res.RestartWallSec),
+		"",
+		fmt.Sprintf("%d", cfg.Jobs),
+		"",
+		fmt.Sprintf("resumed %d", res.Resumed),
+		fmt.Sprintf("%v", res.DrainBitwise),
+	})
+	return res, tb, nil
+}

@@ -1,6 +1,7 @@
 package nbody
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -28,6 +29,15 @@ import (
 // sentinel is kept for callers that probe capabilities with
 // errors.Is(err, nbody.ErrUnsupported) and for future rejections.
 var ErrUnsupported = errors.New("nbody: unsupported configuration")
+
+// ErrCanceled is the typed cancellation sentinel of RunSpaceTimeCtx:
+// when the context is canceled (or its deadline expires) the run stops
+// at the next PFASST block boundary and returns an error wrapping this
+// sentinel — match with errors.Is. Cancellation never abandons a
+// half-advanced block: the committed block-start state (and its
+// checkpoint, when Resilience.CheckpointDir is set) remains a
+// consistent resume point.
+var ErrCanceled = pfasst.ErrCanceled
 
 // RunStats is a merged telemetry snapshot of a run: counters summed
 // over the ranks, gauges and per-phase timer maxima taken across them
@@ -102,6 +112,13 @@ type SpaceTimeConfig struct {
 	// adaptive recovery ladder (numerical guardrails). The zero value
 	// runs without detectors at zero cost.
 	Guard GuardConfig
+	// OnBlock, when non-nil, is invoked with the index of each PFASST
+	// block about to run, from exactly one rank, before the run's
+	// Context is polled at that boundary. A hook that cancels the
+	// RunSpaceTimeCtx context stops the run at that exact block,
+	// deterministically — the job server's chaos plan and progress
+	// reporting build on this. The hook must not block.
+	OnBlock func(block int)
 }
 
 // GuardConfig is the façade's numerical-guardrail block: optional
@@ -207,6 +224,15 @@ type SpaceTimeStats struct {
 // It returns the advanced system (same particle order as the input)
 // and run statistics.
 func RunSpaceTime(cfg SpaceTimeConfig, sys *System, t0, t1 float64, nsteps int) (*System, SpaceTimeStats, error) {
+	return RunSpaceTimeCtx(context.Background(), cfg, sys, t0, t1, nsteps)
+}
+
+// RunSpaceTimeCtx is RunSpaceTime with cooperative cancellation: when
+// ctx is canceled the run stops at the next block boundary on every
+// rank and returns an error wrapping ErrCanceled (and the context's
+// cause). A context that can never be canceled (Background) takes the
+// exact code path of RunSpaceTime.
+func RunSpaceTimeCtx(ctx context.Context, cfg SpaceTimeConfig, sys *System, t0, t1 float64, nsteps int) (*System, SpaceTimeStats, error) {
 	if cfg.PT < 1 || cfg.PS < 1 {
 		return nil, SpaceTimeStats{}, fmt.Errorf("nbody: PT=%d, PS=%d invalid", cfg.PT, cfg.PS)
 	}
@@ -292,6 +318,13 @@ func RunSpaceTime(cfg SpaceTimeConfig, sys *System, t0, t1 float64, nsteps int) 
 		}
 		ccfg.Guard = pol
 	}
+	// A context that cannot be canceled (nil Done channel) leaves Ctx
+	// unset, so the ctx-free wrapper runs the historical code path byte
+	// for byte — no extra per-block agreement or broadcast rounds.
+	if ctx != nil && ctx.Done() != nil {
+		ccfg.Ctx = ctx
+	}
+	ccfg.OnBlock = cfg.OnBlock
 
 	out := sys.Clone()
 	var mu sync.Mutex
@@ -356,6 +389,11 @@ func RunSpaceTime(cfg SpaceTimeConfig, sys *System, t0, t1 float64, nsteps int) 
 			err = fmt.Errorf("nbody: no surviving rank produced output")
 		}
 	}
+	if err != nil && errors.Is(err, ErrCanceled) {
+		// Every rank reports the same block-boundary cancellation;
+		// collapse the PT·PS-way join to one typed error.
+		return nil, SpaceTimeStats{}, fmt.Errorf("nbody: %w", firstCanceled(err))
+	}
 	if err != nil {
 		return nil, SpaceTimeStats{}, err
 	}
@@ -363,6 +401,20 @@ func RunSpaceTime(cfg SpaceTimeConfig, sys *System, t0, t1 float64, nsteps int) 
 		stats.Run = &merged
 	}
 	return out, stats, nil
+}
+
+// firstCanceled returns the first part of a joined rank error that
+// wraps ErrCanceled (the parts are near-identical across ranks, so
+// reporting one beats concatenating PT·PS copies).
+func firstCanceled(err error) error {
+	if joined, ok := err.(interface{ Unwrap() []error }); ok {
+		for _, e := range joined.Unwrap() {
+			if errors.Is(e, ErrCanceled) {
+				return e
+			}
+		}
+	}
+	return err
 }
 
 // filterInjectedCrashes strips ErrInjectedCrash parts from a joined
