@@ -1,21 +1,27 @@
 // Command nbodylint is the repo's own static-analysis gate: a
 // vet-style driver (internal/analysis, stdlib-only) enforcing the
 // invariants the reproduction's headline claims rest on — bitwise
-// determinism in numeric packages, zero-cost disabled hooks, the
-// errors.Is/%w error contract, float-comparison hygiene and the
-// telemetry naming convention.
+// determinism in numeric packages (syntactic and dataflow forms),
+// zero-cost disabled hooks, the errors.Is/%w error contract,
+// float-comparison hygiene, the telemetry naming convention, and the
+// v2 flow-sensitive rules: lock release on all paths, rank-uniform
+// collective placement, and the zero-alloc steady-state contract.
 //
 // Usage:
 //
-//	go run ./cmd/nbodylint [-json] [-rules name,name] [-list] ./...
+//	go run ./cmd/nbodylint [-json] [-rules name,name] [-list]
+//	                       [-baseline file [-write-baseline]] ./...
 //
 // Findings print as file:line:col: rule: message, sorted, and the
 // exit status is 1 when any finding survives suppression. Suppress a
 // single line with "//lint:ignore <rule> <reason>" on the offending
-// line or the line directly above it. -json emits the same findings
-// as a deterministic JSON array, -rules restricts the run to a
-// comma-separated subset of rules, -list prints the rule set. See
-// DESIGN.md §13.
+// line or the line directly above it. -json emits a deterministic
+// report object {"engine": <version>, "findings": [...]} whose
+// findings array is never null; -rules restricts the run to a
+// comma-separated subset of rules; -list prints the rule set.
+// -baseline compares the findings against a known-findings snapshot
+// (only new findings fail the gate); with -write-baseline the current
+// findings are written to the snapshot instead. See DESIGN.md §13.
 package main
 
 import (
@@ -29,7 +35,9 @@ import (
 func main() {
 	jsonOut := false
 	listRules := false
+	writeBaseline := false
 	rulesSpec := ""
+	baselinePath := ""
 	var patterns []string
 	args := os.Args[1:]
 	for i := 0; i < len(args); i++ {
@@ -39,6 +47,8 @@ func main() {
 			jsonOut = true
 		case arg == "-list" || arg == "--list":
 			listRules = true
+		case arg == "-write-baseline" || arg == "--write-baseline":
+			writeBaseline = true
 		case arg == "-rules" || arg == "--rules":
 			i++
 			if i >= len(args) {
@@ -48,8 +58,17 @@ func main() {
 			rulesSpec = args[i]
 		case strings.HasPrefix(arg, "-rules="), strings.HasPrefix(arg, "--rules="):
 			rulesSpec = arg[strings.Index(arg, "=")+1:]
+		case arg == "-baseline" || arg == "--baseline":
+			i++
+			if i >= len(args) {
+				fmt.Fprintln(os.Stderr, "nbodylint: -baseline needs a snapshot file path")
+				os.Exit(2)
+			}
+			baselinePath = args[i]
+		case strings.HasPrefix(arg, "-baseline="), strings.HasPrefix(arg, "--baseline="):
+			baselinePath = arg[strings.Index(arg, "=")+1:]
 		case arg == "-h" || arg == "-help" || arg == "--help":
-			fmt.Fprintln(os.Stderr, "usage: nbodylint [-json] [-rules name,name] [-list] <packages>  (e.g. ./...)")
+			fmt.Fprintln(os.Stderr, "usage: nbodylint [-json] [-rules name,name] [-list] [-baseline file [-write-baseline]] <packages>  (e.g. ./...)")
 			return
 		default:
 			patterns = append(patterns, arg)
@@ -60,6 +79,10 @@ func main() {
 			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
 		}
 		return
+	}
+	if writeBaseline && baselinePath == "" {
+		fmt.Fprintln(os.Stderr, "nbodylint: -write-baseline requires -baseline <file>")
+		os.Exit(2)
 	}
 	analyzers := analysis.Analyzers()
 	if rulesSpec != "" {
@@ -86,8 +109,39 @@ func main() {
 		fmt.Fprintln(os.Stderr, "nbodylint:", err)
 		os.Exit(2)
 	}
+	if baselinePath != "" {
+		root, err := analysis.ModuleRoot(".")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "nbodylint:", err)
+			os.Exit(2)
+		}
+		if writeBaseline {
+			f, err := os.Create(baselinePath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "nbodylint:", err)
+				os.Exit(2)
+			}
+			if err := analysis.WriteBaseline(f, root, diags); err != nil {
+				f.Close()
+				fmt.Fprintln(os.Stderr, "nbodylint:", err)
+				os.Exit(2)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "nbodylint:", err)
+				os.Exit(2)
+			}
+			fmt.Fprintf(os.Stderr, "nbodylint: wrote baseline with %d finding(s) to %s\n", len(diags), baselinePath)
+			return
+		}
+		base, err := analysis.LoadBaseline(baselinePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "nbodylint:", err)
+			os.Exit(2)
+		}
+		diags = analysis.SubtractBaseline(root, diags, base)
+	}
 	if jsonOut {
-		if err := analysis.EmitJSON(os.Stdout, diags); err != nil {
+		if err := analysis.EmitJSONReport(os.Stdout, diags); err != nil {
 			fmt.Fprintln(os.Stderr, "nbodylint:", err)
 			os.Exit(2)
 		}

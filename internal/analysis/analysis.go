@@ -111,12 +111,51 @@ func (p *Pass) isTestFile(pos token.Pos) bool {
 	return strings.HasSuffix(p.Fset.Position(pos).Filename, "_test.go")
 }
 
+// EngineVersion identifies the analysis engine generation in the
+// -json report: v1 was the intraprocedural AST matcher, v2 added the
+// CFG + dataflow engine (cfg.go, dataflow.go, callgraph.go) and the
+// flow-sensitive rules. Bump on changes that can alter the finding
+// set so baseline snapshots can be invalidated knowingly.
+const EngineVersion = "2.0.0"
+
 // Analyzer is one named rule: a documentation string and a Run
-// function that inspects a Pass and reports findings.
+// function that inspects a Pass and reports findings. Rules that need
+// the whole loaded unit set at once (call-graph reachability,
+// cross-package summaries) implement RunModule instead; exactly one
+// of Run/RunModule is set.
 type Analyzer struct {
-	Name string
-	Doc  string
-	Run  func(*Pass)
+	Name      string
+	Doc       string
+	Run       func(*Pass)
+	RunModule func(*ModulePass)
+}
+
+// ModulePass is the analysis context of a module-level rule: every
+// loaded unit plus the call graph across them. Reporting and
+// suppression work exactly as on Pass.
+type ModulePass struct {
+	Fset  *token.FileSet
+	Units []*Unit
+	Graph *CallGraph
+
+	suppress map[suppKey]bool
+	diags    *[]Diagnostic
+}
+
+// Reportf records a finding unless a //lint:ignore directive for the
+// rule covers its line.
+func (p *ModulePass) Reportf(pos token.Pos, rule, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if p.suppress[suppKey{file: position.Filename, line: position.Line, rule: rule}] {
+		return
+	}
+	*p.diags = append(*p.diags, Diagnostic{
+		File:    position.Filename,
+		Line:    position.Line,
+		Col:     position.Column,
+		Rule:    rule,
+		Message: fmt.Sprintf(format, args...),
+	})
 }
 
 // Analyzers returns the full rule set in deterministic (name) order.
@@ -127,13 +166,18 @@ func Analyzers() []*Analyzer {
 		AnalyzerErrWrap,
 		AnalyzerFloatEq,
 		AnalyzerHookCost,
+		AnalyzerLockSafe,
+		AnalyzerCollective,
+		AnalyzerAllocFree,
+		AnalyzerTaintDet,
 	}
 	sort.Slice(as, func(i, j int) bool { return as[i].Name < as[j].Name })
 	return as
 }
 
-// RunAnalyzers applies every analyzer to the unit and returns the
-// sorted, suppression-filtered findings.
+// RunAnalyzers applies the unit-level analyzers to one unit and
+// returns the sorted, suppression-filtered findings. Module-level
+// rules in the set are skipped — use RunUnits for those.
 func RunAnalyzers(u *Unit, analyzers []*Analyzer) []Diagnostic {
 	var diags []Diagnostic
 	pass := &Pass{
@@ -147,17 +191,60 @@ func RunAnalyzers(u *Unit, analyzers []*Analyzer) []Diagnostic {
 		diags:      &diags,
 	}
 	for _, a := range analyzers {
-		a.Run(pass)
+		if a.Run != nil {
+			a.Run(pass)
+		}
 	}
 	sortDiagnostics(diags)
 	return diags
 }
 
-// inspectWithStack walks the file like ast.Inspect but hands the
+// RunUnits applies the full analyzer set to a coherent set of units:
+// unit-level rules per unit, then module-level rules once over the
+// whole set with the call graph built across it. This is the entry
+// point both the CLI driver and the golden-fixture runner use.
+func RunUnits(units []*Unit, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, u := range units {
+		diags = append(diags, RunAnalyzers(u, analyzers)...)
+	}
+	needModule := false
+	for _, a := range analyzers {
+		if a.RunModule != nil {
+			needModule = true
+		}
+	}
+	if needModule && len(units) > 0 {
+		suppress := make(map[suppKey]bool)
+		for _, u := range units {
+			for k, v := range collectSuppressions(u.Fset, u.Files) {
+				if v {
+					suppress[k] = true
+				}
+			}
+		}
+		mp := &ModulePass{
+			Fset:     units[0].Fset,
+			Units:    units,
+			Graph:    BuildCallGraph(units),
+			suppress: suppress,
+			diags:    &diags,
+		}
+		for _, a := range analyzers {
+			if a.RunModule != nil {
+				a.RunModule(mp)
+			}
+		}
+	}
+	sortDiagnostics(diags)
+	return diags
+}
+
+// inspectWithStack walks the subtree like ast.Inspect but hands the
 // callback the full ancestor stack (stack[len-1] is n itself).
-func inspectWithStack(file *ast.File, fn func(n ast.Node, stack []ast.Node) bool) {
+func inspectWithStack(root ast.Node, fn func(n ast.Node, stack []ast.Node) bool) {
 	var stack []ast.Node
-	ast.Inspect(file, func(n ast.Node) bool {
+	ast.Inspect(root, func(n ast.Node) bool {
 		if n == nil {
 			stack = stack[:len(stack)-1]
 			return true

@@ -32,10 +32,9 @@ func TestGolden(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			var got []Diagnostic
-			for _, u := range units {
-				got = append(got, RunAnalyzers(u, Analyzers())...)
-			}
+			// Module-scoped run: unit rules plus the call-graph rules
+			// (allocfree, taintdet) over this fixture's units.
+			got := RunUnits(units, Analyzers())
 			wants := parseWants(t, dir)
 			matched := make([]bool, len(wants))
 		diag:

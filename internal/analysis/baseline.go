@@ -1,0 +1,87 @@
+package analysis
+
+// baseline.go implements the -baseline workflow of cmd/nbodylint: a
+// known-findings snapshot that lets a new (stricter) analyzer land
+// without blocking unrelated work — the gate then fails only on
+// findings not present in the snapshot. Baseline files are the plain
+// EmitJSON array with file paths relativized to the module root, so a
+// snapshot is stable across checkouts and machines.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// RelativizeDiagnostics returns a copy of the findings with absolute
+// file paths rewritten relative to root (slash-separated). Paths
+// already relative, or outside root, pass through unchanged.
+func RelativizeDiagnostics(ds []Diagnostic, root string) []Diagnostic {
+	out := make([]Diagnostic, len(ds))
+	copy(out, ds)
+	for i := range out {
+		out[i].File = relModulePath(root, out[i].File)
+	}
+	return out
+}
+
+func relModulePath(root, file string) string {
+	if root == "" || !filepath.IsAbs(file) {
+		return filepath.ToSlash(file)
+	}
+	rel, err := filepath.Rel(root, file)
+	if err != nil || rel == ".." || len(rel) > 1 && rel[0] == '.' && rel[1] == '.' {
+		return filepath.ToSlash(file)
+	}
+	return filepath.ToSlash(rel)
+}
+
+// WriteBaseline writes the findings as a baseline snapshot: the
+// stable EmitJSON array form, paths relativized to root.
+func WriteBaseline(w io.Writer, root string, ds []Diagnostic) error {
+	return EmitJSON(w, RelativizeDiagnostics(ds, root))
+}
+
+// LoadBaseline reads a baseline snapshot (a JSON findings array, as
+// written by WriteBaseline or a prior -json run).
+func LoadBaseline(path string) ([]Diagnostic, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: reading baseline: %w", err)
+	}
+	var ds []Diagnostic
+	if err := json.Unmarshal(data, &ds); err != nil {
+		return nil, fmt.Errorf("analysis: baseline %s is not a findings array: %w", path, err)
+	}
+	return ds, nil
+}
+
+// baselineKey identifies a finding for baseline matching: file
+// (module-relative), rule and message — line numbers are deliberately
+// excluded so unrelated edits shifting a known finding do not break
+// the gate.
+func baselineKey(root string, d Diagnostic) string {
+	return relModulePath(root, d.File) + "\x00" + d.Rule + "\x00" + d.Message
+}
+
+// SubtractBaseline returns the findings not covered by the baseline,
+// matched as a multiset of (file, rule, message) keys: n identical
+// known findings excuse at most n current ones.
+func SubtractBaseline(root string, ds, baseline []Diagnostic) []Diagnostic {
+	budget := make(map[string]int)
+	for _, d := range baseline {
+		budget[baselineKey(root, d)]++
+	}
+	var out []Diagnostic
+	for _, d := range ds {
+		k := baselineKey(root, d)
+		if budget[k] > 0 {
+			budget[k]--
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}

@@ -1,0 +1,282 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// cfgParseBody parses a function body and returns its BlockStmt.
+func cfgParseBody(t *testing.T, body string) *ast.BlockStmt {
+	t.Helper()
+	src := "package p\nfunc f() {\n" + body + "\n}"
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "cfg_test_src.go", src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v\n%s", err, src)
+	}
+	for _, d := range file.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+			return fd.Body
+		}
+	}
+	t.Fatal("no function body")
+	return nil
+}
+
+// leafStmts collects the statements the builder promises to place in
+// exactly one block: everything except the structured constructs it
+// decomposes into blocks and edges (blocks, ifs, loops, switches,
+// selects, labels) and anything inside a function literal. Range
+// statements are included — they land whole in their range.head block.
+func leafStmts(body *ast.BlockStmt) []ast.Stmt {
+	var out []ast.Stmt
+	inspectNoFuncLit(body, func(n ast.Node) bool {
+		s, ok := n.(ast.Stmt)
+		if !ok {
+			return true
+		}
+		switch s.(type) {
+		case *ast.BlockStmt, *ast.IfStmt, *ast.ForStmt, *ast.SwitchStmt,
+			*ast.TypeSwitchStmt, *ast.SelectStmt, *ast.LabeledStmt,
+			*ast.CaseClause, *ast.CommClause:
+		default:
+			out = append(out, s)
+		}
+		return true
+	})
+	return out
+}
+
+// checkCFGInvariants asserts the structural contract shared by the
+// unit tests and FuzzCFGBuild: every leaf statement is in exactly one
+// block, block indexes are consistent, and Preds mirror Succs.
+func checkCFGInvariants(t *testing.T, g *CFG, body *ast.BlockStmt) {
+	t.Helper()
+	count := make(map[ast.Stmt]int)
+	for _, b := range g.Blocks {
+		if g.Blocks[b.Index] != b {
+			t.Fatalf("block index %d does not round-trip", b.Index)
+		}
+		for _, n := range b.Nodes {
+			if s, ok := n.(ast.Stmt); ok {
+				count[s]++
+			}
+		}
+		for _, s := range b.Succs {
+			mirrored := false
+			for _, p := range s.Preds {
+				if p == b {
+					mirrored = true
+				}
+			}
+			if !mirrored {
+				t.Fatalf("edge %d->%d has no mirroring pred", b.Index, s.Index)
+			}
+		}
+	}
+	for _, s := range leafStmts(body) {
+		if count[s] != 1 {
+			t.Fatalf("statement at offset %v appears in %d blocks, want exactly 1 (%T)",
+				s.Pos(), count[s], s)
+		}
+	}
+}
+
+// blockContaining returns the unique block whose Nodes include a node
+// for which match returns true.
+func blockContaining(t *testing.T, g *CFG, what string, match func(ast.Node) bool) *Block {
+	t.Helper()
+	var found *Block
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			hit := false
+			inspectNoFuncLit(n, func(m ast.Node) bool {
+				if match(m) {
+					hit = true
+				}
+				return !hit
+			})
+			if hit {
+				if found != nil && found != b {
+					t.Fatalf("%s found in blocks %d and %d", what, found.Index, b.Index)
+				}
+				found = b
+			}
+		}
+	}
+	if found == nil {
+		t.Fatalf("%s not found in any block", what)
+	}
+	return found
+}
+
+func identBlock(t *testing.T, g *CFG, name string) *Block {
+	t.Helper()
+	return blockContaining(t, g, "ident "+name, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		return ok && id.Name == name
+	})
+}
+
+func hasSucc(b, s *Block) bool {
+	for _, x := range b.Succs {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
+
+// TestCFGShortCircuit pins the && decomposition: each conjunct gets
+// its own cond block, and the second is evaluated only when the first
+// is true.
+func TestCFGShortCircuit(t *testing.T) {
+	body := cfgParseBody(t, "if alpha && beta {\n\tthen()\n}\ntail()")
+	g := BuildCFG(body)
+	checkCFGInvariants(t, g, body)
+
+	a := identBlock(t, g, "alpha")
+	b := identBlock(t, g, "beta")
+	then := identBlock(t, g, "then")
+	tail := identBlock(t, g, "tail")
+
+	if a.Kind != "cond" || b.Kind != "cond" {
+		t.Fatalf("conjunct kinds = %q, %q, want cond, cond", a.Kind, b.Kind)
+	}
+	if a == b {
+		t.Fatal("alpha and beta share a block: short-circuit not decomposed")
+	}
+	if !hasSucc(a, b) {
+		t.Fatal("alpha has no edge to beta")
+	}
+	if len(b.Preds) != 1 || b.Preds[0] != a {
+		t.Fatalf("beta has preds %v, want only alpha", b.Preds)
+	}
+	if !hasSucc(b, then) {
+		t.Fatal("beta true-edge does not reach the then block")
+	}
+	// alpha's false edge must skip beta and land where tail is
+	// eventually reached; beta must not be on that path.
+	reach := g.reaches(tail)
+	if !reach[a.Index] {
+		t.Fatal("tail unreachable from alpha")
+	}
+	if hasSucc(a, then) {
+		t.Fatal("alpha short-circuits straight into then: beta skipped on the true path")
+	}
+}
+
+// TestCFGReturnAndPanicEdges pins the terminator wiring: returns flow
+// to Exit, a statement-level panic flows to Panic, and trailing code
+// still gets a block — just not one reachable from Entry.
+func TestCFGReturnAndPanicEdges(t *testing.T) {
+	body := cfgParseBody(t, "if cond {\n\treturn\n}\npanic(\"boom\")\nafter()")
+	g := BuildCFG(body)
+	checkCFGInvariants(t, g, body)
+
+	ret := blockContaining(t, g, "return", func(n ast.Node) bool {
+		_, ok := n.(*ast.ReturnStmt)
+		return ok
+	})
+	if len(ret.Succs) != 1 || ret.Succs[0] != g.Exit {
+		t.Fatalf("return block succs = %v, want exactly Exit", ret.Succs)
+	}
+
+	pb := blockContaining(t, g, "panic call", func(n ast.Node) bool {
+		es, ok := n.(*ast.ExprStmt)
+		return ok && isPanicCall(es.X)
+	})
+	if len(pb.Succs) != 1 || pb.Succs[0] != g.Panic {
+		t.Fatalf("panic block succs = %v, want exactly Panic", pb.Succs)
+	}
+
+	after := identBlock(t, g, "after")
+	if after.Kind != "unreachable" {
+		t.Fatalf("post-panic block kind = %q, want unreachable", after.Kind)
+	}
+	if g.ReachableFromEntry()[after.Index] {
+		t.Fatal("statements after panic must not be reachable from Entry")
+	}
+}
+
+// TestCFGDeferIsBlockNode pins that defer stays an ordinary node in
+// its block (its semantics belong to the analyzers, not the builder).
+func TestCFGDeferIsBlockNode(t *testing.T) {
+	body := cfgParseBody(t, "acquire()\ndefer release()\nwork()")
+	g := BuildCFG(body)
+	checkCFGInvariants(t, g, body)
+
+	db := blockContaining(t, g, "defer", func(n ast.Node) bool {
+		_, ok := n.(*ast.DeferStmt)
+		return ok
+	})
+	if !g.ReachableFromEntry()[db.Index] {
+		t.Fatal("defer block unreachable from Entry")
+	}
+	// acquire, defer, work are straight-line: all in the same block.
+	if identBlock(t, g, "acquire") != db || identBlock(t, g, "work") != db {
+		t.Fatal("straight-line defer split its block")
+	}
+}
+
+// TestCFGLoopBackEdge pins the loop shape: the body block flows back
+// to the condition (through the post statement), forming a cycle.
+func TestCFGLoopBackEdge(t *testing.T) {
+	body := cfgParseBody(t, "for i := 0; i < n; i++ {\n\twork()\n}\ntail()")
+	g := BuildCFG(body)
+	checkCFGInvariants(t, g, body)
+
+	work := identBlock(t, g, "work")
+	if !g.reaches(work)[work.Index] {
+		t.Fatal("loop body cannot reach itself: back edge missing")
+	}
+	tail := identBlock(t, g, "tail")
+	if !g.ReachableFromEntry()[tail.Index] {
+		t.Fatal("loop exit path lost")
+	}
+}
+
+// TestCFGEveryStmtExactlyOnce runs the placement invariant over a
+// body exercising labels, goto, fallthrough, select, range, and
+// unreachable trailing code.
+func TestCFGEveryStmtExactlyOnce(t *testing.T) {
+	body := cfgParseBody(t, `
+	x := 0
+L:
+	for i := 0; i < 4; i++ {
+		switch x {
+		case 0:
+			x++
+			fallthrough
+		case 1:
+			continue L
+		default:
+			break L
+		}
+	}
+	for k, v := range m {
+		_ = k
+		_ = v
+	}
+	select {
+	case v := <-ch:
+		_ = v
+	default:
+		goto L
+	}
+	return
+	x = 9
+	_ = x`)
+	g := BuildCFG(body)
+	checkCFGInvariants(t, g, body)
+}
+
+// TestCFGNilBody pins the degenerate graph for bodiless declarations.
+func TestCFGNilBody(t *testing.T) {
+	g := BuildCFG(nil)
+	if !hasSucc(g.Entry, g.Exit) {
+		t.Fatal("nil body must wire entry straight to exit")
+	}
+}

@@ -1,0 +1,99 @@
+package analysis
+
+// dataflow.go is the generic worklist solver the v2 analyzers run
+// their lattices on. A Problem describes one monotone dataflow
+// problem over a CFG; Solve iterates transfer functions to a fixpoint.
+//
+// Contract (see dataflow_test.go):
+//
+//   - Join must be pure: it returns the least upper bound without
+//     mutating either argument. Transfer must likewise not mutate its
+//     input fact. The solver relies on this for change detection.
+//   - Join must be monotone (facts only grow toward the top of the
+//     lattice); with a finite-height lattice the worklist terminates.
+//     A defensive step bound guards solver clients that violate this:
+//     the solver then stops propagating rather than spinning forever.
+//   - Facts propagate only along paths from the boundary block (Entry
+//     for forward problems, Exit for backward ones); blocks with no
+//     such path keep Bottom.
+
+// Problem describes one dataflow problem with fact type F.
+type Problem[F any] struct {
+	// Backward flips the direction: facts flow from Exit along
+	// predecessor edges, and Transfer sees the fact at block exit.
+	Backward bool
+	// Bottom is the least fact (the identity of Join).
+	Bottom func() F
+	// Boundary is the fact entering the boundary block.
+	Boundary func() F
+	// Transfer applies one block's effect to the incoming fact.
+	Transfer func(b *Block, in F) F
+	// Join computes the least upper bound of two facts, pure.
+	Join func(a, b F) F
+	// Equal reports whether two facts are equal (fixpoint test).
+	Equal func(a, b F) bool
+}
+
+// Solve runs the worklist algorithm to fixpoint and returns the fact
+// flowing INTO each block along the analysis direction (indexed by
+// Block.Index): the fact at block entry for forward problems, the
+// fact at block exit for backward ones.
+func Solve[F any](g *CFG, p Problem[F]) []F {
+	n := len(g.Blocks)
+	in := make([]F, n)
+	for i := range in {
+		in[i] = p.Bottom()
+	}
+	boundary := g.Entry
+	next := func(b *Block) []*Block { return b.Succs }
+	if p.Backward {
+		boundary = g.Exit
+		next = func(b *Block) []*Block { return b.Preds }
+	}
+	in[boundary.Index] = p.Join(in[boundary.Index], p.Boundary())
+
+	// Seed the worklist with every block reachable from the boundary
+	// (in BFS order, so facts tend to flow in one pass): each must be
+	// transferred at least once — a block whose in-fact never moves off
+	// Bottom still has gen effects its successors depend on.
+	seen := make([]bool, n)
+	seen[boundary.Index] = true
+	order := []*Block{boundary}
+	for i := 0; i < len(order); i++ {
+		for _, s := range next(order[i]) {
+			if !seen[s.Index] {
+				seen[s.Index] = true
+				order = append(order, s)
+			}
+		}
+	}
+	queue := make([]int, 0, len(order))
+	queued := make([]bool, n)
+	for _, b := range order {
+		queue = append(queue, b.Index)
+		queued[b.Index] = true
+	}
+	// Defensive bound: a monotone finite-height lattice converges far
+	// below this; a buggy client stops instead of looping forever.
+	budget := n*n*64 + 4096
+	for len(queue) > 0 && budget > 0 {
+		budget--
+		idx := queue[0]
+		queue = queue[1:]
+		queued[idx] = false
+		b := g.Blocks[idx]
+		out := p.Transfer(b, in[idx])
+		for _, s := range next(b) {
+			j := p.Join(in[s.Index], out)
+			if p.Equal(j, in[s.Index]) {
+				continue
+			}
+			in[s.Index] = j
+			if !queued[s.Index] {
+				queued[s.Index] = true
+				queue = append(queue, s.Index)
+			}
+		}
+	}
+	return in
+}

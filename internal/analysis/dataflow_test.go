@@ -1,0 +1,196 @@
+package analysis
+
+import (
+	"go/ast"
+	"testing"
+)
+
+// callSetProblem is the reference problem the solver tests run: the
+// forward may-union of function names called on some path to each
+// block ("which calls may have happened before entering here").
+func callSetProblem() Problem[map[string]bool] {
+	union := func(a, b map[string]bool) map[string]bool {
+		out := make(map[string]bool, len(a)+len(b))
+		for k := range a {
+			out[k] = true
+		}
+		for k := range b {
+			out[k] = true
+		}
+		return out
+	}
+	return Problem[map[string]bool]{
+		Bottom:   func() map[string]bool { return map[string]bool{} },
+		Boundary: func() map[string]bool { return map[string]bool{} },
+		Transfer: func(b *Block, in map[string]bool) map[string]bool {
+			out := union(in, nil)
+			for _, n := range b.Nodes {
+				inspectBlockNode(n, func(m ast.Node) bool {
+					if call, ok := m.(*ast.CallExpr); ok {
+						if id, ok := call.Fun.(*ast.Ident); ok {
+							out[id.Name] = true
+						}
+					}
+					return true
+				})
+			}
+			return out
+		},
+		Join: union,
+		Equal: func(a, b map[string]bool) bool {
+			if len(a) != len(b) {
+				return false
+			}
+			for k := range a {
+				if !b[k] {
+					return false
+				}
+			}
+			return true
+		},
+	}
+}
+
+// TestSolveBranchGenPropagates is the regression test for the
+// worklist-seeding bug: gen effects in blocks whose in-fact never
+// moves off Bottom must still reach their successors. Seeding only
+// the boundary block and enqueueing on fact-change alone loses every
+// branch's calls (empty joins compare equal, so nothing past the
+// entry block is ever transferred).
+func TestSolveBranchGenPropagates(t *testing.T) {
+	body := cfgParseBody(t, "if cond {\n\ta()\n} else {\n\tb()\n}\nsink()")
+	g := BuildCFG(body)
+	in := Solve(g, callSetProblem())
+
+	sink := identBlock(t, g, "sink")
+	for _, want := range []string{"a", "b"} {
+		if !in[sink.Index][want] {
+			t.Fatalf("fact into sink block = %v, missing call %q", in[sink.Index], want)
+		}
+	}
+	if !in[g.Exit.Index]["sink"] {
+		t.Fatalf("fact into Exit = %v, missing call %q", in[g.Exit.Index], "sink")
+	}
+}
+
+// TestSolveLoopTermination pins convergence on a cyclic CFG with a
+// finite lattice: the loop body's gen flows around the back edge and
+// out to the after-block, and the result is a true fixpoint.
+func TestSolveLoopTermination(t *testing.T) {
+	body := cfgParseBody(t, "for i := 0; i < n; i++ {\n\tstep()\n}\ntail()")
+	g := BuildCFG(body)
+	p := callSetProblem()
+	in := Solve(g, p)
+
+	tail := identBlock(t, g, "tail")
+	if !in[tail.Index]["step"] {
+		t.Fatalf("fact into tail = %v: loop gen did not cross the back edge", in[tail.Index])
+	}
+	// Fixpoint property: re-applying every transfer changes nothing.
+	reach := g.ReachableFromEntry()
+	for _, b := range g.Blocks {
+		if !reach[b.Index] {
+			continue
+		}
+		out := p.Transfer(b, in[b.Index])
+		for _, s := range b.Succs {
+			j := p.Join(in[s.Index], out)
+			if !p.Equal(j, in[s.Index]) {
+				t.Fatalf("edge %d->%d not at fixpoint: %v joins to %v", b.Index, s.Index, in[s.Index], j)
+			}
+		}
+	}
+}
+
+// TestSolveMonotoneGrowth pins monotonicity of the solved facts: a
+// block's in-fact is always at least the join of its predecessors'
+// transferred outputs, never below it (facts only grow toward top).
+func TestSolveMonotoneGrowth(t *testing.T) {
+	body := cfgParseBody(t, `
+	start()
+	for {
+		if cond {
+			break
+		}
+		inner()
+	}
+	end()`)
+	g := BuildCFG(body)
+	p := callSetProblem()
+	in := Solve(g, p)
+	reach := g.ReachableFromEntry()
+	for _, b := range g.Blocks {
+		if !reach[b.Index] {
+			continue
+		}
+		out := p.Transfer(b, in[b.Index])
+		for _, s := range b.Succs {
+			for name := range out {
+				if !in[s.Index][name] {
+					t.Fatalf("successor %d lost fact %q present at predecessor %d exit", s.Index, name, b.Index)
+				}
+			}
+		}
+	}
+}
+
+// TestSolveBackward runs the reversed direction: the fact is the set
+// of calls that may still happen on some path from each block to
+// Exit, flowing from Exit along predecessor edges.
+func TestSolveBackward(t *testing.T) {
+	body := cfgParseBody(t, "first()\nif cond {\n\tmaybe()\n}\nlast()")
+	g := BuildCFG(body)
+	p := callSetProblem()
+	p.Backward = true
+	in := Solve(g, p)
+
+	// At the entry block's exit, everything past it is possible; its
+	// own call joins in only after the transfer (fact at block start).
+	for _, want := range []string{"maybe", "last"} {
+		if !in[g.Entry.Index][want] {
+			t.Fatalf("backward fact at entry exit = %v, missing %q", in[g.Entry.Index], want)
+		}
+	}
+	if start := p.Transfer(g.Entry, in[g.Entry.Index]); !start["first"] {
+		t.Fatalf("backward fact at entry start = %v, missing %q", start, "first")
+	}
+	// The block after the branch can no longer reach maybe or first.
+	last := identBlock(t, g, "last")
+	out := p.Transfer(last, in[last.Index])
+	if out["first"] {
+		t.Fatal("backward flow leaked an upstream call into a downstream block")
+	}
+}
+
+// TestSolveDefensiveBudget pins that a non-monotone client terminates
+// instead of spinning: an ever-growing integer fact on a cyclic CFG
+// exhausts the step budget and Solve returns.
+func TestSolveDefensiveBudget(t *testing.T) {
+	body := cfgParseBody(t, "for {\n\tspin()\n}")
+	g := BuildCFG(body)
+	// If the budget is broken this call never returns and the test
+	// fails on the package timeout.
+	Solve(g, Problem[int]{
+		Bottom:   func() int { return 0 },
+		Boundary: func() int { return 1 },
+		Transfer: func(b *Block, in int) int { return in + 1 },
+		Join:     func(a, b int) int { return max(a, b) },
+		Equal:    func(a, b int) bool { return a == b },
+	})
+}
+
+// TestSolveUnreachableStaysBottom pins the boundary contract: blocks
+// with no path from the boundary keep Bottom even though their gen
+// effects exist syntactically.
+func TestSolveUnreachableStaysBottom(t *testing.T) {
+	body := cfgParseBody(t, "return\ndead()")
+	g := BuildCFG(body)
+	in := Solve(g, callSetProblem())
+	dead := identBlock(t, g, "dead")
+	if len(in[dead.Index]) != 0 {
+		t.Fatalf("unreachable block has non-bottom fact %v", in[dead.Index])
+	}
+	if in[g.Exit.Index]["dead"] {
+		t.Fatal("unreachable gen leaked into Exit")
+	}
+}

@@ -19,3 +19,26 @@ func EmitJSON(w io.Writer, ds []Diagnostic) error {
 	enc.SetIndent("", "  ")
 	return enc.Encode(sorted)
 }
+
+// Report is the -json output of cmd/nbodylint since engine v2: the
+// engine version plus the findings array. Findings keeps the
+// never-null array contract of EmitJSON.
+type Report struct {
+	Engine   string       `json:"engine"`
+	Findings []Diagnostic `json:"findings"`
+}
+
+// EmitJSONReport writes the engine-versioned report object. The
+// findings array is sorted and never null, so consumers of the v1
+// array form can migrate by reading .findings.
+func EmitJSONReport(w io.Writer, ds []Diagnostic) error {
+	sorted := make([]Diagnostic, len(ds))
+	copy(sorted, ds)
+	sortDiagnostics(sorted)
+	if sorted == nil {
+		sorted = []Diagnostic{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(Report{Engine: EngineVersion, Findings: sorted})
+}

@@ -332,7 +332,9 @@ func Run(patterns []string) ([]Diagnostic, error) {
 }
 
 // RunRules is Run restricted to an explicit analyzer subset (the
-// driver's -rules flag).
+// driver's -rules flag). All matched directories are loaded first so
+// the module-level rules see one coherent unit set (call graph and
+// cross-package summaries span exactly what the patterns name).
 func RunRules(patterns []string, analyzers []*Analyzer) ([]Diagnostic, error) {
 	l, err := newLoader(".")
 	if err != nil {
@@ -342,16 +344,24 @@ func RunRules(patterns []string, analyzers []*Analyzer) ([]Diagnostic, error) {
 	if err != nil {
 		return nil, err
 	}
-	var diags []Diagnostic
+	var units []*Unit
 	for _, dir := range dirs {
-		units, err := l.LoadForAnalysis(dir)
+		us, err := l.LoadForAnalysis(dir)
 		if err != nil {
 			return nil, err
 		}
-		for _, u := range units {
-			diags = append(diags, RunAnalyzers(u, analyzers)...)
-		}
+		units = append(units, us...)
 	}
-	sortDiagnostics(diags)
-	return diags, nil
+	return RunUnits(units, analyzers), nil
+}
+
+// ModuleRoot locates the root directory of the module containing dir
+// (the directory holding go.mod). The CLI uses it to relativize
+// baseline paths so snapshots are stable across checkouts.
+func ModuleRoot(dir string) (string, error) {
+	l, err := newLoader(dir)
+	if err != nil {
+		return "", err
+	}
+	return l.ModuleRoot, nil
 }

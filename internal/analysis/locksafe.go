@@ -1,0 +1,378 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// locksafe is the first CFG-based rule: a forward dataflow analysis
+// over sync.Mutex/RWMutex operations proving that every Lock is
+// released on every path out of the function.
+//
+// Lattice (per function, per mutex expression and mode):
+//
+//	fact = map[mutexKey]lockState
+//	lockState.live = may-held acquisition sites (no release of any
+//	    kind seen yet) — join is set union (a lock held on SOME path
+//	    must not be re-locked);
+//	lockState.owed = acquisition sites with no matching Unlock and no
+//	    registered defer-unlock — join is set union (an acquisition
+//	    unreleased on SOME path at exit is a leak).
+//
+// A `defer mu.Unlock()` settles the newest owed acquisition
+// immediately (the release is then guaranteed on all subsequent
+// paths) but leaves it live (the defer has not run yet, so re-locking
+// before return still self-deadlocks). Three findings:
+//
+//   - double-lock: a write-mode Lock while the same mutex expression
+//     may already be write-locked;
+//   - leak: an acquisition still owed at function exit;
+//   - defer-preference (package server only, the admission path of
+//     DESIGN.md §16): one acquisition manually unlocked at two or
+//     more distinct sites — a panic between them leaks the daemon
+//     mutex; prefer extracting the critical section behind a defer.
+//
+// Unlocking a mutex the function never locked is deliberately not
+// flagged: lock/unlock pairs split across helper functions are the
+// caller's contract. _test.go files are exempt (test orchestration
+// legitimately moves locks across goroutine boundaries).
+var AnalyzerLockSafe = &Analyzer{
+	Name: "locksafe",
+	Doc:  "every mutex Lock must be released on all paths; no double-lock; defer-unlock in the server admission path",
+	Run:  runLockSafe,
+}
+
+type lockState struct {
+	live string // comma-joined sorted acquisition offsets, may-held
+	owed string // comma-joined sorted acquisition offsets, unreleased
+}
+
+type lockFact map[string]lockState
+
+func lockFactEqual(a, b lockFact) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+func lockFactJoin(a, b lockFact) lockFact {
+	out := make(lockFact, len(a)+len(b))
+	for k, v := range a {
+		out[k] = v
+	}
+	for k, v := range b {
+		if o, ok := out[k]; ok {
+			out[k] = lockState{live: posSetUnion(o.live, v.live), owed: posSetUnion(o.owed, v.owed)}
+		} else {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+// posSet helpers: a position set is a comma-joined ascending list of
+// token.Pos offsets encoded in a string, so lockState stays a
+// comparable value.
+func posSetAdd(set string, p token.Pos) string {
+	return posSetUnion(set, strconv.Itoa(int(p)))
+}
+
+func posSetUnion(a, b string) string {
+	if a == "" {
+		return b
+	}
+	if b == "" {
+		return a
+	}
+	seen := make(map[int]bool)
+	var vals []int
+	for _, part := range strings.Split(a+","+b, ",") {
+		v, err := strconv.Atoi(part)
+		if err != nil || seen[v] {
+			continue
+		}
+		seen[v] = true
+		vals = append(vals, v)
+	}
+	sort.Ints(vals)
+	parts := make([]string, len(vals))
+	for i, v := range vals {
+		parts[i] = strconv.Itoa(v)
+	}
+	return strings.Join(parts, ",")
+}
+
+func posSetList(set string) []token.Pos {
+	if set == "" {
+		return nil
+	}
+	var out []token.Pos
+	for _, part := range strings.Split(set, ",") {
+		v, err := strconv.Atoi(part)
+		if err == nil {
+			out = append(out, token.Pos(v))
+		}
+	}
+	return out
+}
+
+// posSetPopMax removes the newest (largest-offset) element: releases
+// settle the most recent acquisition, matching the LIFO discipline of
+// nested critical sections.
+func posSetPopMax(set string) (string, token.Pos, bool) {
+	ps := posSetList(set)
+	if len(ps) == 0 {
+		return set, token.NoPos, false
+	}
+	max := ps[len(ps)-1]
+	rest := ps[:len(ps)-1]
+	parts := make([]string, len(rest))
+	for i, v := range rest {
+		parts[i] = strconv.Itoa(int(v))
+	}
+	return strings.Join(parts, ","), max, true
+}
+
+// lockOp is one classified mutex operation site.
+type lockOp struct {
+	key     string // receiver expression + mode, the lattice key
+	disp    string // receiver expression, for messages
+	acquire bool
+	write   bool
+	pos     token.Pos
+}
+
+var lockMethods = map[string]struct {
+	acquire, write bool
+}{
+	"Lock":    {true, true},
+	"Unlock":  {false, true},
+	"RLock":   {true, false},
+	"RUnlock": {false, false},
+}
+
+// lockOpOf classifies a call as a sync mutex operation (methods named
+// Lock/Unlock/RLock/RUnlock whose object lives in package sync, which
+// covers Mutex, RWMutex, embedded mutexes and the Locker interface).
+func lockOpOf(p *Pass, call *ast.CallExpr) (lockOp, bool) {
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return lockOp{}, false
+	}
+	m, ok := lockMethods[sel.Sel.Name]
+	if !ok {
+		return lockOp{}, false
+	}
+	var obj types.Object
+	if s, ok := p.Info.Selections[sel]; ok {
+		obj = s.Obj()
+	} else {
+		obj = p.Info.Uses[sel.Sel]
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return lockOp{}, false
+	}
+	disp := types.ExprString(sel.X)
+	mode := "w"
+	if !m.write {
+		mode = "r"
+	}
+	return lockOp{key: disp + "/" + mode, disp: disp, acquire: m.acquire, write: m.write, pos: call.Pos()}, true
+}
+
+// lockRecorder accumulates attribution during the post-solve report
+// walk: which acquisition sites are manually unlocked where, which
+// are settled by defers, and double-lock sites.
+type lockRecorder struct {
+	manual map[token.Pos]map[token.Pos]bool // acquisition -> manual unlock sites
+	double []lockDouble
+}
+
+type lockDouble struct {
+	pos  token.Pos
+	disp string
+	held string
+}
+
+// lockTransfer applies one block's mutex operations to the fact. The
+// recorder is nil while solving and set during the report walk.
+func lockTransfer(p *Pass, b *Block, in lockFact, rec *lockRecorder) lockFact {
+	out := make(lockFact, len(in))
+	for k, v := range in {
+		out[k] = v
+	}
+	apply := func(op lockOp, deferred bool) {
+		st := out[op.key]
+		if op.acquire {
+			if deferred {
+				return // `defer mu.Lock()` — no sane reading, skip
+			}
+			if op.write && st.live != "" && rec != nil {
+				rec.double = append(rec.double, lockDouble{pos: op.pos, disp: op.disp, held: st.live})
+			}
+			st.live = posSetAdd(st.live, op.pos)
+			st.owed = posSetAdd(st.owed, op.pos)
+			out[op.key] = st
+			return
+		}
+		// Release: settle the newest owed acquisition. A manual
+		// unlock also clears liveness; a deferred one does not (it
+		// has not run yet).
+		rest, acq, ok := posSetPopMax(st.owed)
+		if ok {
+			st.owed = rest
+			if rec != nil && !deferred {
+				if rec.manual[acq] == nil {
+					rec.manual[acq] = make(map[token.Pos]bool)
+				}
+				rec.manual[acq][op.pos] = true
+			}
+		}
+		if !deferred {
+			st.live, _, _ = posSetPopMax(st.live)
+		}
+		out[op.key] = st
+	}
+	scanCalls := func(n ast.Node, deferred bool) {
+		inspectBlockNode(n, func(m ast.Node) bool {
+			if call, ok := m.(*ast.CallExpr); ok {
+				if op, ok := lockOpOf(p, call); ok {
+					apply(op, deferred)
+				}
+			}
+			return true
+		})
+	}
+	for _, n := range b.Nodes {
+		switch s := n.(type) {
+		case *ast.DeferStmt:
+			if fl, ok := s.Call.Fun.(*ast.FuncLit); ok {
+				// defer func() { ...; mu.Unlock(); ... }(): releases
+				// inside the deferred closure settle acquisitions.
+				ast.Inspect(fl.Body, func(m ast.Node) bool {
+					if call, ok := m.(*ast.CallExpr); ok {
+						if op, ok := lockOpOf(p, call); ok && !op.acquire {
+							apply(op, true)
+						}
+					}
+					return true
+				})
+			} else {
+				scanCalls(s.Call, true)
+			}
+		case *ast.GoStmt:
+			// The spawned goroutine's locking is its own flow; its
+			// function literal is analyzed as a separate body.
+		default:
+			scanCalls(n, false)
+		}
+	}
+	return out
+}
+
+func runLockSafe(p *Pass) {
+	for _, f := range p.Files {
+		if p.isTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			default:
+				return true
+			}
+			if body != nil {
+				lockCheckBody(p, body)
+			}
+			return true
+		})
+	}
+}
+
+func lockCheckBody(p *Pass, body *ast.BlockStmt) {
+	found := false
+	inspectNoFuncLit(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if _, ok := lockOpOf(p, call); ok {
+				found = true
+			}
+		}
+		return !found
+	})
+	if !found {
+		return
+	}
+	g := BuildCFG(body)
+	facts := Solve(g, Problem[lockFact]{
+		Bottom:   func() lockFact { return lockFact{} },
+		Boundary: func() lockFact { return lockFact{} },
+		Transfer: func(b *Block, in lockFact) lockFact { return lockTransfer(p, b, in, nil) },
+		Join:     lockFactJoin,
+		Equal:    lockFactEqual,
+	})
+
+	rec := &lockRecorder{manual: make(map[token.Pos]map[token.Pos]bool)}
+	reach := g.ReachableFromEntry()
+	for _, b := range g.Blocks {
+		if reach[b.Index] {
+			lockTransfer(p, b, facts[b.Index], rec)
+		}
+	}
+
+	for _, d := range rec.double {
+		first := posSetList(d.held)
+		line := 0
+		if len(first) > 0 {
+			line = p.Fset.Position(first[0]).Line
+		}
+		p.Reportf(d.pos, "locksafe",
+			"%s.Lock while the mutex may already be held (locked at line %d): self-deadlock", d.disp, line)
+	}
+
+	exit := facts[g.Exit.Index]
+	keys := make([]string, 0, len(exit))
+	for k := range exit {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		disp, _, _ := strings.Cut(k, "/")
+		for _, pos := range posSetList(exit[k].owed) {
+			p.Reportf(pos, "locksafe",
+				"%s is locked here but not released on every path out of the function (add the missing Unlock or use defer)", disp)
+		}
+	}
+
+	// Defer-preference: the server admission path (DESIGN.md §16)
+	// must be panic-safe — a critical section with two or more manual
+	// unlock sites leaks the daemon mutex if anything between them
+	// panics.
+	if p.Pkg.Name() == "server" {
+		var acqs []token.Pos
+		for acq, sites := range rec.manual {
+			if len(sites) >= 2 {
+				acqs = append(acqs, acq)
+			}
+		}
+		sort.Slice(acqs, func(i, j int) bool { return acqs[i] < acqs[j] })
+		for _, acq := range acqs {
+			p.Reportf(acq, "locksafe",
+				"admission-path lock has %d manual unlock sites: a panic between them leaks the mutex; hoist the critical section behind defer", len(rec.manual[acq]))
+		}
+	}
+}

@@ -1,0 +1,417 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// taintdet strengthens the syntactic determinism rule with dataflow:
+// it tracks values derived from run-to-run-variant sources —
+// time.Now, global math/rand draws, map iteration order, channel
+// receives — through local assignments and cross-package call
+// summaries, and flags the moment such a value is written into
+// numeric particle state (a floating-point field or element in a
+// package under the bitwise-determinism contract). Where determinism
+// flags the source expression itself, taintdet flags the sink the
+// value actually reaches, including through helper functions.
+//
+// Lattice: fact = set of tainted local objects (forward, may-taint);
+// a plain assignment from an untainted expression clears its target
+// (strong update — reassigning a variable clean before the write is
+// recognized). Call summaries are a module-wide fixpoint: a function
+// whose return value may carry taint with untainted inputs marks
+// every call site. A tainted argument taints the call result
+// unconditionally (data flows through).
+//
+// Exemption mirrors determinism's indexedByKey: a write indexed by
+// the map-range key itself (state[k] = v inside `for k, v := range m`)
+// happens exactly once per key, so iteration order cannot matter.
+// Writes inside nested function literals are not sink-checked (the
+// literal's flow is its own); _test.go files are exempt.
+var AnalyzerTaintDet = &Analyzer{
+	Name:      "taintdet",
+	Doc:       "no time/rand/map-order-derived values may reach numeric particle state (dataflow form of determinism)",
+	RunModule: runTaintDet,
+}
+
+const taintSummaryIters = 32
+
+func runTaintDet(mp *ModulePass) {
+	summaries := taintSummaries(mp.Graph)
+	for _, sym := range mp.Graph.Order() {
+		fn := mp.Graph.Funcs[sym]
+		if fn.Decl.Body == nil || !numericPackages[fn.PkgName] {
+			continue
+		}
+		taintCheckFunc(mp, fn, summaries)
+	}
+}
+
+// taintSummaries computes, to a module-wide fixpoint, which functions
+// may return a variant-derived value even when all inputs are clean.
+// The value is the source label, "" when clean.
+func taintSummaries(g *CallGraph) map[string]string {
+	summaries := make(map[string]string)
+	for iter := 0; iter < taintSummaryIters; iter++ {
+		changed := false
+		for _, sym := range g.Order() {
+			fn := g.Funcs[sym]
+			if fn.Decl.Body == nil || summaries[sym] != "" {
+				continue
+			}
+			if label := funcReturnsTainted(fn, summaries); label != "" {
+				summaries[sym] = label
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return summaries
+}
+
+// funcReturnsTainted runs the flow-insensitive may-taint analysis
+// over one declaration and reports the source label if any return
+// value may be tainted.
+func funcReturnsTainted(fn *FuncNode, summaries map[string]string) string {
+	info := fn.Unit.Info
+	tainted := make(objSet)
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(fn.Decl.Body, func(n ast.Node) bool {
+			before := len(tainted)
+			detTaintNode(info, n, tainted, summaries, true)
+			if len(tainted) != before {
+				changed = true
+			}
+			return true
+		})
+	}
+	label := ""
+	ast.Inspect(fn.Decl.Body, func(n ast.Node) bool {
+		if label != "" {
+			return false
+		}
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		for _, res := range ret.Results {
+			if l, t := exprDetTainted(info, res, tainted, summaries); t {
+				label = l
+				return false
+			}
+		}
+		return true
+	})
+	return label
+}
+
+// detTaintNode applies one node's gen (and, flow-sensitively, kill)
+// effect. In the flow-insensitive summary pass (mayOnly) kills are
+// skipped — the set only grows, guaranteeing the fixpoint.
+func detTaintNode(info *types.Info, n ast.Node, out objSet, summaries map[string]string, mayOnly bool) {
+	assign := func(lhs ast.Expr, why string, variant bool) {
+		id, ok := unparen(lhs).(*ast.Ident)
+		if !ok {
+			return
+		}
+		obj := info.Defs[id]
+		if obj == nil {
+			obj = info.Uses[id]
+		}
+		if obj == nil {
+			return
+		}
+		if variant {
+			if old, ok := out[obj]; !ok || why < old {
+				out[obj] = why
+			}
+		} else if !mayOnly {
+			delete(out, obj)
+		}
+	}
+	switch s := n.(type) {
+	case *ast.AssignStmt:
+		if len(s.Rhs) == 1 && len(s.Lhs) > 1 {
+			why, variant := exprDetTainted(info, s.Rhs[0], out, summaries)
+			for _, lhs := range s.Lhs {
+				assign(lhs, why, variant)
+			}
+			return
+		}
+		for i, lhs := range s.Lhs {
+			if i >= len(s.Rhs) {
+				break
+			}
+			why, variant := exprDetTainted(info, s.Rhs[i], out, summaries)
+			if s.Tok != token.ASSIGN && s.Tok != token.DEFINE {
+				if variant {
+					assign(lhs, why, true)
+				}
+				continue
+			}
+			assign(lhs, why, variant)
+		}
+	case *ast.ValueSpec:
+		for i, name := range s.Names {
+			if i < len(s.Values) {
+				why, variant := exprDetTainted(info, s.Values[i], out, summaries)
+				assign(name, why, variant)
+			}
+		}
+	case *ast.ExprStmt:
+		if !mayOnly {
+			sortCanonKill(info, s.X, out)
+		}
+	case *ast.RangeStmt:
+		why, variant := exprDetTainted(info, s.X, out, summaries)
+		if tv, ok := info.Types[s.X]; ok && tv.Type != nil {
+			switch tv.Type.Underlying().(type) {
+			case *types.Map:
+				why, variant = "map iteration order", true
+			case *types.Chan:
+				why, variant = "channel receive", true
+			}
+		}
+		for _, lhs := range []ast.Expr{s.Key, s.Value} {
+			if lhs != nil {
+				assign(lhs, why, variant)
+			}
+		}
+	}
+}
+
+// sortCanonKill clears a map-iteration-order taint from the argument
+// of a sort.* statement. The collect-then-sort idiom — append inside a
+// map range, then sort.Slice/sort.Ints/... the collected slice —
+// canonicalizes exactly the property the taint tracks: after the sort
+// the element order no longer depends on the randomized iteration.
+// Only order taints die here; a value-level taint (time.Now, rand)
+// survives sorting, since reordering clock readings does not make
+// them reproducible.
+func sortCanonKill(info *types.Info, e ast.Expr, out objSet) {
+	call, ok := unparen(e).(*ast.CallExpr)
+	if !ok || len(call.Args) == 0 {
+		return
+	}
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return
+	}
+	if p := fn.Pkg().Path(); p != "sort" && p != "slices" {
+		return
+	}
+	id, ok := unparen(call.Args[0]).(*ast.Ident)
+	if !ok {
+		return
+	}
+	obj := info.Uses[id]
+	if obj == nil {
+		obj = info.Defs[id]
+	}
+	if obj == nil {
+		return
+	}
+	if why, ok := out[obj]; ok && strings.HasPrefix(why, "map iteration order") {
+		delete(out, obj)
+	}
+}
+
+// exprDetTainted reports whether any sub-expression of e is a
+// determinism-variant source, a tainted object, or a call whose
+// summary (or tainted argument) carries taint.
+func exprDetTainted(info *types.Info, e ast.Expr, fact objSet, summaries map[string]string) (string, bool) {
+	label := ""
+	tainted := false
+	inspectNoFuncLit(e, func(n ast.Node) bool {
+		if tainted {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.Ident:
+			if obj := info.Uses[x]; obj != nil {
+				if l, ok := fact[obj]; ok {
+					label, tainted = l, true
+					return false
+				}
+			}
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				label, tainted = "channel receive", true
+				return false
+			}
+		case *ast.CallExpr:
+			if l, ok := detCallSource(info, x, summaries); ok {
+				label, tainted = l, true
+				return false
+			}
+		}
+		return true
+	})
+	return label, tainted
+}
+
+// detCallSource classifies a call as an intrinsic variant source:
+// time.Now, a global math/rand draw, or a module function whose
+// summary says it may return taint.
+func detCallSource(info *types.Info, call *ast.CallExpr, summaries map[string]string) (string, bool) {
+	if sym := calleeSym(info, call); sym != "" {
+		if l := summaries[sym]; l != "" {
+			short := sym[strings.LastIndex(sym, "/")+1:]
+			return l + " via " + short, true
+		}
+	}
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return "", false
+	}
+	if fn.Type().(*types.Signature).Recv() != nil {
+		return "", false
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		if fn.Name() == "Now" {
+			return "time.Now", true
+		}
+	case "math/rand", "math/rand/v2":
+		if !randConstructors[fn.Name()] {
+			return "global math/rand", true
+		}
+	}
+	return "", false
+}
+
+// taintCheckFunc runs the flow-sensitive pass over one numeric
+// function and reports tainted writes into float state.
+func taintCheckFunc(mp *ModulePass, fn *FuncNode, summaries map[string]string) {
+	info := fn.Unit.Info
+	g := BuildCFG(fn.Decl.Body)
+	facts := Solve(g, Problem[objSet]{
+		Bottom:   func() objSet { return objSet{} },
+		Boundary: func() objSet { return objSet{} },
+		Transfer: func(b *Block, in objSet) objSet {
+			out := make(objSet, len(in))
+			for k, v := range in {
+				out[k] = v
+			}
+			for _, n := range b.Nodes {
+				detTaintNode(info, n, out, summaries, false)
+			}
+			return out
+		},
+		Join:  objSetJoin,
+		Equal: objSetEqual,
+	})
+
+	rangeKeys := mapRangeKeyObjects(info, fn.Decl.Body)
+	reach := g.ReachableFromEntry()
+	for _, b := range g.Blocks {
+		if !reach[b.Index] {
+			continue
+		}
+		fact := make(objSet, len(facts[b.Index]))
+		for k, v := range facts[b.Index] {
+			fact[k] = v
+		}
+		for _, n := range b.Nodes {
+			if as, ok := n.(*ast.AssignStmt); ok {
+				checkTaintSink(mp, info, as, fact, summaries, rangeKeys)
+			}
+			detTaintNode(info, n, fact, summaries, false)
+		}
+	}
+}
+
+// checkTaintSink flags tainted values written into floating-point
+// fields or elements.
+func checkTaintSink(mp *ModulePass, info *types.Info, as *ast.AssignStmt, fact objSet, summaries map[string]string, rangeKeys map[types.Object]bool) {
+	for i, lhs := range as.Lhs {
+		switch unparen(lhs).(type) {
+		case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+		default:
+			continue // writes to plain locals only propagate
+		}
+		tv, ok := info.Types[lhs]
+		if !ok || !isFloatState(tv.Type) {
+			continue
+		}
+		if idx, ok := unparen(lhs).(*ast.IndexExpr); ok {
+			if id, ok := idx.Index.(*ast.Ident); ok {
+				if obj := info.Uses[id]; obj != nil && rangeKeys[obj] {
+					continue // one write per key: order-independent
+				}
+			}
+		}
+		var rhs ast.Expr
+		switch {
+		case len(as.Lhs) == len(as.Rhs):
+			rhs = as.Rhs[i]
+		case len(as.Rhs) == 1:
+			rhs = as.Rhs[0]
+		default:
+			continue
+		}
+		if why, tainted := exprDetTainted(info, rhs, fact, summaries); tainted {
+			mp.Reportf(as.Pos(), "taintdet",
+				"value derived from %s flows into numeric particle state: run-to-run variation breaks bitwise reproducibility", why)
+		}
+	}
+}
+
+// isFloatState reports whether t is floating-point state: a float, or
+// a slice/array of floats (whole-buffer assignment).
+func isFloatState(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if isFloat(t) {
+		return true
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Slice:
+		return isFloat(u.Elem())
+	case *types.Array:
+		return isFloat(u.Elem())
+	}
+	return false
+}
+
+// mapRangeKeyObjects collects the key variables of every range over a
+// map in the body (for the per-key-write exemption).
+func mapRangeKeyObjects(info *types.Info, body *ast.BlockStmt) map[types.Object]bool {
+	keys := make(map[types.Object]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		tv, ok := info.Types[rs.X]
+		if !ok || tv.Type == nil {
+			return true
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		if id, ok := rs.Key.(*ast.Ident); ok {
+			if obj := info.Defs[id]; obj != nil {
+				keys[obj] = true
+			} else if obj := info.Uses[id]; obj != nil {
+				keys[obj] = true
+			}
+		}
+		return true
+	})
+	return keys
+}

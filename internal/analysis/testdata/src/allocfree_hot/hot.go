@@ -1,0 +1,107 @@
+// Package hot is a golden-test fixture for the allocfree rule: Eval
+// is a //lint:hotpath root, the helpers below it exercise every alloc
+// class and every exemption, and cold is pruned by //lint:coldpath.
+package hot
+
+import (
+	"errors"
+	"fmt"
+)
+
+type buf struct {
+	vals []float64
+	out  []float64
+}
+
+// Eval is the steady-state root of the fixture's hot closure.
+//
+//lint:hotpath fixture root: the per-step evaluation path
+func (b *buf) Eval(n int) {
+	b.step(n)
+}
+
+func (b *buf) step(n int) {
+	tmp := make([]float64, n) // want `allocfree: make on the steady-state hot path allocates every call`
+	sum := 0.0
+	for _, v := range tmp {
+		sum += v
+	}
+	b.out = append(b.out, sum) // field-backed append: amortized, clean
+	b.grow(n)
+	b.box(sum)
+	b.each(n)
+	b.scratch()
+	b.fail(n)
+	if _, err := b.miss(n > 0); err != nil {
+		return
+	}
+	b.dispatch(n)
+	_ = b.cold(n)
+}
+
+// grow reallocates only on the amortized growth path: the cap() guard
+// exempts the make.
+func (b *buf) grow(n int) {
+	if cap(b.vals) < n {
+		b.vals = make([]float64, n)
+	}
+	b.vals = b.vals[:n]
+}
+
+// box boxes a float into an interface argument.
+func (b *buf) box(v float64) {
+	b.consume(v) // want `allocfree: interface boxing of float64 on the steady-state hot path allocates`
+}
+
+func (b *buf) consume(v any) { _ = v }
+
+// each allocates a capturing closure per call.
+func (b *buf) each(n int) {
+	f := func(i int) int { return i + n } // want `allocfree: closure capturing n allocates a closure object per call on the steady-state hot path`
+	_ = f(1)
+}
+
+// scratch builds transient storage per call: three distinct findings.
+func (b *buf) scratch() {
+	st := new(buf) // want `allocfree: new on the steady-state hot path allocates every call`
+	_ = st
+	ids := []int{0}      // want `allocfree: slice composite literal on the steady-state hot path allocates every call`
+	ids = append(ids, 1) // want `allocfree: append may grow a transient slice on the steady-state hot path`
+	_ = ids
+}
+
+// fail leaves the steady state: allocations feeding a panic are
+// exempt.
+func (b *buf) fail(n int) {
+	if n < 0 {
+		panic(fmt.Sprintf("hot: bad n %d", n))
+	}
+}
+
+// miss returns a typed error: the branch exits cold, so its
+// allocation is exempt.
+func (b *buf) miss(ok bool) ([]float64, error) {
+	if !ok {
+		return make([]float64, 1), errors.New("hot: miss")
+	}
+	return b.vals, nil
+}
+
+// dispatch allocates one goroutine closure per call by design.
+func (b *buf) dispatch(n int) {
+	//lint:ignore allocfree one dispatch closure per evaluation is the documented scheduling cost
+	go func(m int) { _ = m + n }(n)
+}
+
+// cold is the miss path, allowed to allocate; the reasoned directive
+// prunes the hot closure here.
+//
+//lint:coldpath fixture miss path: runs once per remote cell, amortized over the evaluation
+func (b *buf) cold(n int) []float64 {
+	return make([]float64, n)
+}
+
+// Setup is not reachable from any hot root: free to allocate.
+func Setup(n int) []float64 {
+	return make([]float64, n)
+}

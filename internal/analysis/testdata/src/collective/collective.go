@@ -1,0 +1,85 @@
+// Package collective is a golden-test fixture for the collective
+// rule: Comm mirrors the module's mpi.Comm shape, so its methods
+// resolve as collectives and rank-variant sources.
+package collective
+
+// Comm mirrors mpi.Comm for the fixture.
+type Comm struct{ rank, size int }
+
+// Rank is the rank-variant identity source.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size is uniform: every member sees the same communicator size.
+func (c *Comm) Size() int { return c.size }
+
+// Agree is a collective agreement (min across ranks in the real one).
+func (c *Comm) Agree(v int64) int64 { return v }
+
+// AllreduceFloat64 is a collective reduction.
+func (c *Comm) AllreduceFloat64(x []float64, op int) []float64 { return x }
+
+// Leader gates a collective on the rank: the PR 8 deadlock shape.
+func Leader(c *Comm) int64 {
+	if c.Rank() == 0 {
+		return c.Agree(1) // want `collective: collective Agree may not be reached on all ranks: guarded by rank-variant condition \(Comm\.Rank\) at line \d+`
+	}
+	return 0
+}
+
+// LeaderVar launders the rank through locals before branching: the
+// dataflow pass must carry the taint across both assignments.
+func LeaderVar(c *Comm, x []float64) []float64 {
+	me := c.Rank()
+	lead := me == 0
+	if lead {
+		return c.AllreduceFloat64(x, 0) // want `collective: collective AllreduceFloat64 may not be reached on all ranks: guarded by rank-variant condition \(lead derived from me derived from Comm\.Rank\) at line \d+`
+	}
+	return x
+}
+
+// Notified gates a collective on a channel receive: arrival order is
+// per-rank timing.
+func Notified(c *Comm, ch chan int) {
+	if <-ch > 0 {
+		c.Agree(4) // want `collective: collective Agree may not be reached on all ranks: guarded by rank-variant condition \(channel receive\) at line \d+`
+	}
+}
+
+// ConfigGated branches on uniform configuration: every rank takes the
+// same path, no finding.
+func ConfigGated(c *Comm, enabled bool, x []float64) []float64 {
+	if enabled {
+		return c.AllreduceFloat64(x, 0)
+	}
+	return x
+}
+
+// SizeGated branches on the communicator size: uniform by definition.
+func SizeGated(c *Comm) int64 {
+	if c.Size() > 1 {
+		return c.Agree(5)
+	}
+	return 0
+}
+
+// AgreedGate launders a rank-variant value through an agreement: the
+// agreed result is uniform by construction, so the inner collective is
+// safe even though v fed into Agree.
+func AgreedGate(c *Comm) int64 {
+	v := int64(0)
+	if c.Rank() == 0 {
+		v = 1
+	}
+	if c.Agree(v) == 1 {
+		return c.Agree(2)
+	}
+	return 0
+}
+
+// RootOnly is an intentional, documented violation.
+func RootOnly(c *Comm) {
+	if c.Rank() == 0 {
+		//lint:ignore collective retired ranks left the communicator in the preceding agreement epoch
+		c.Agree(3)
+	}
+}

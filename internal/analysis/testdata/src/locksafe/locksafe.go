@@ -1,0 +1,84 @@
+// Package server is a golden-test fixture for the locksafe rule. The
+// package name deliberately reads "server": that puts the fixture on
+// the admission-path defer-preference check, which only applies there.
+package server
+
+import "sync"
+
+type daemon struct {
+	mu   sync.Mutex
+	rw   sync.RWMutex
+	n    int
+	open bool
+}
+
+// LeakOnBranch forgets the release on the early-return path.
+func (d *daemon) LeakOnBranch(stop bool) int {
+	d.mu.Lock() // want `locksafe: d\.mu is locked here but not released on every path out of the function`
+	if stop {
+		return 0
+	}
+	n := d.n
+	d.mu.Unlock()
+	return n
+}
+
+// DeferRelease is the preferred panic-safe shape.
+func (d *daemon) DeferRelease() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.n
+}
+
+// DoubleLock re-locks a mutex the function still holds.
+func (d *daemon) DoubleLock() {
+	d.mu.Lock()
+	d.mu.Lock() // want `locksafe: d\.mu\.Lock while the mutex may already be held \(locked at line \d+\): self-deadlock`
+	d.mu.Unlock()
+	d.mu.Unlock()
+}
+
+// Admit releases manually at two distinct sites: the panic window the
+// admission-path rule exists for.
+func (d *daemon) Admit() (int, bool) {
+	d.mu.Lock() // want `locksafe: admission-path lock has 2 manual unlock sites: a panic between them leaks the mutex`
+	if !d.open {
+		d.mu.Unlock()
+		return 0, false
+	}
+	d.n++
+	n := d.n
+	d.mu.Unlock()
+	return n, true
+}
+
+// ReadSnapshot settles the read lock through a deferred closure.
+func (d *daemon) ReadSnapshot() int {
+	d.rw.RLock()
+	defer func() {
+		d.rw.RUnlock()
+	}()
+	return d.n
+}
+
+// Pump locks and releases per iteration: the loop fixpoint must stay
+// clean.
+func (d *daemon) Pump(rounds int) {
+	for i := 0; i < rounds; i++ {
+		d.mu.Lock()
+		d.n++
+		d.mu.Unlock()
+	}
+}
+
+// ReleaseLocked releases a mutex its caller acquired: split pairs are
+// the caller's contract and deliberately not flagged.
+func (d *daemon) ReleaseLocked() {
+	d.mu.Unlock()
+}
+
+// HandoffLocked intentionally returns with the mutex held.
+func (d *daemon) HandoffLocked() {
+	//lint:ignore locksafe the caller releases the admission mutex (documented handoff contract)
+	d.mu.Lock()
+}

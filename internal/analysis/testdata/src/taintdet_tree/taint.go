@@ -1,0 +1,99 @@
+// Package tree is a golden-test fixture for the taintdet rule: the
+// package name puts it under the bitwise-determinism contract, so
+// clock/rand/map-order-derived values must not reach particle state.
+// The syntactic determinism rule fires on the sources themselves; the
+// dataflow rule fires on the sinks the values actually reach.
+package tree
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+type state struct {
+	pos  []float64
+	mass float64
+}
+
+// Jitter writes a clock-derived value into particle state.
+func (s *state) Jitter() {
+	t := time.Now() // want `determinism: time.Now in a numeric package`
+	dt := float64(t.UnixNano())
+	s.mass = dt // want `taintdet: value derived from time\.Now flows into numeric particle state`
+}
+
+// noise returns a clock-derived float: the module summary marks every
+// caller.
+func noise() float64 {
+	return float64(time.Now().UnixNano()) // want `determinism: time.Now in a numeric package`
+}
+
+// Perturb reaches particle state through the helper.
+func (s *state) Perturb(i int) {
+	v := noise()
+	s.pos[i] = v // want `taintdet: value derived from time\.Now via taintdet_tree\.noise flows into numeric particle state`
+}
+
+// Reseed overwrites the tainted local with clean data before the
+// write: the strong kill must clear the taint.
+func (s *state) Reseed(i int) {
+	v := float64(time.Now().UnixNano()) // want `determinism: time.Now in a numeric package`
+	v = 0.5
+	s.pos[i] = v
+}
+
+// Kick applies a global rand draw to particle state.
+func (s *state) Kick(i int) {
+	r := rand.Float64() // want `determinism: global math/rand.Float64 draws from the shared process-wide source`
+	s.pos[i] += r       // want `taintdet: value derived from global math/rand flows into numeric particle state`
+}
+
+// KickSeeded draws from an owned deterministic stream: clean.
+func (s *state) KickSeeded(i int, seed int64) {
+	r := rand.New(rand.NewSource(seed))
+	s.pos[i] += r.Float64()
+}
+
+// Total buffers a map fold in a local before writing it back: the
+// syntactic rule flags the accumulation, the dataflow rule follows the
+// value to the state write.
+func Total(m map[int]float64, s *state) {
+	acc := 0.0
+	for _, v := range m {
+		acc += v // want `determinism: floating-point accumulation inside range over map`
+	}
+	s.mass = acc // want `taintdet: value derived from map iteration order flows into numeric particle state`
+}
+
+// Canon collects map keys, sorts them, and folds in sorted order: the
+// sort canonicalizes away the iteration order, so the fold is clean
+// for taintdet even though the syntactic rule still flags the
+// order-dependent collection step.
+func Canon(m map[int]float64, s *state) {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k) // want `determinism: append inside range over map`
+	}
+	sort.Ints(keys)
+	acc := 0.0
+	for _, k := range keys {
+		acc += m[k]
+	}
+	s.mass = acc
+}
+
+// Fold writes once per range key: iteration order cannot matter.
+func Fold(m map[int]float64, out []float64) {
+	for k, v := range m {
+		out[k] = v
+	}
+}
+
+// Stamp records a wall-clock telemetry value next to the numeric
+// state by design: it never feeds the integrator.
+func (s *state) Stamp() {
+	w := float64(time.Now().UnixNano()) //lint:ignore determinism wall-clock telemetry stamp, not integrator state
+	//lint:ignore taintdet diagnostic timestamp: excluded from state hashing and comparisons
+	s.mass = w
+}

@@ -168,26 +168,49 @@ func runGridResilient(world *mpi.Comm, cfg Config, full *particle.System, t0, t1
 	var fineEvals, coarseEvals int64
 
 	// Resume shares the shrink path: load the full state, let the first
-	// recovery round partition it onto whatever PS this run has.
+	// recovery round partition it onto whatever PS this run has. Every
+	// rank reads and validates its own copy of the checkpoint, so the
+	// accept-or-reject decision must be agreed world-wide before anyone
+	// returns: a rank-local read or validation failure that bailed out
+	// directly would strand the surviving ranks in the block-loop
+	// collectives below (the PR 8 deadlock class; nbodylint's
+	// collective rule flags the bare early returns).
 	if rz.Resume && rz.CheckpointDir != "" {
 		gl, err := checkpoint.LoadGrid(rz.CheckpointDir)
+		var rerr error
+		loaded := false
 		switch {
 		case err == nil:
-			if len(gl.U) != 6*n {
-				return Result{}, fmt.Errorf("core: resume: checkpoint dim %d does not match problem dim %d", len(gl.U), 6*n)
+			switch {
+			case len(gl.U) != 6*n:
+				rerr = fmt.Errorf("core: resume: checkpoint dim %d does not match problem dim %d", len(gl.U), 6*n)
+			case gl.StepsDone > nsteps:
+				rerr = fmt.Errorf("core: checkpoint has %d steps done, run wants %d", gl.StepsDone, nsteps)
+			default:
+				if v := grd.ValidateCheckpoint(gl.U, gl.Diag, gl.Block); v != nil {
+					rerr = fmt.Errorf("core: resume rejected: %w", v)
+				} else {
+					loaded = true
+				}
 			}
-			if v := grd.ValidateCheckpoint(gl.U, gl.Diag, gl.Block); v != nil {
-				return Result{}, fmt.Errorf("core: resume rejected: %w", v)
-			}
-			if gl.StepsDone > nsteps {
-				return Result{}, fmt.Errorf("core: checkpoint has %d steps done, run wants %d", gl.StepsDone, nsteps)
-			}
-			stepsDone, block = gl.StepsDone, gl.Block
-			fullU = gl.U
 		case errors.Is(err, fs.ErrNotExist):
 			// Missing checkpoint: start from the beginning.
 		default:
-			return Result{}, fmt.Errorf("core: resume: %w", err)
+			rerr = fmt.Errorf("core: resume: %w", err)
+		}
+		av := int64(1)
+		if rerr != nil {
+			av = 0
+		}
+		if world.Agree(av) == 0 {
+			if rerr == nil {
+				rerr = fmt.Errorf("core: resume rejected on a peer rank")
+			}
+			return Result{}, rerr
+		}
+		if loaded {
+			stepsDone, block = gl.StepsDone, gl.Block
+			fullU = gl.U
 		}
 	}
 	if fullU == nil {

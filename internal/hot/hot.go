@@ -244,6 +244,26 @@ type evalRT struct {
 	pending  map[uint64]chan []byte   // reply routing by requested pkey
 	inflight map[uint64]chan struct{} // fetch deduplication
 	fetches  atomic.Int64
+
+	// walkPool recycles traversal stacks across per-particle walks.
+	// Hybrid mode runs several walker goroutines per rank, so the
+	// scratch must be pooled rather than a plain evalRT field.
+	walkPool sync.Pool
+}
+
+// walkStack is the pooled traversal scratch of vortexWalk/coulombWalk:
+// pooling it makes the steady-state per-particle walk allocation-free
+// (the buffer grows once to the deepest frontier and is then reused).
+type walkStack struct{ buf []uint64 }
+
+// getWalk pops a traversal stack from the pool, seeded with startPk.
+func (rt *evalRT) getWalk(startPk uint64) *walkStack {
+	ws, _ := rt.walkPool.Get().(*walkStack)
+	if ws == nil {
+		ws = new(walkStack)
+	}
+	ws.buf = append(ws.buf[:0], startPk)
+	return ws
 }
 
 func (s *Solver) run(sys *particle.System, disc tree.Discipline, vel, stretch []vec.Vec3, pot []float64, ef []vec.Vec3) {
@@ -749,6 +769,8 @@ func (rt *evalRT) cellParts(g *gcell) []particle.Particle {
 }
 
 // vortexAt traverses the global tree for one local target particle.
+//
+//lint:hotpath per-particle global traversal: runs once per target particle per evaluation
 func (rt *evalRT) vortexAt(x vec.Vec3, skipLocal int) tree.VortexResult {
 	var res tree.VortexResult
 	rt.vortexWalk(&res, 1, x, skipLocal)
@@ -788,7 +810,8 @@ func (rt *evalRT) accumVortexParts(res *tree.VortexResult, parts []particle.Part
 func (rt *evalRT) vortexWalk(res *tree.VortexResult, startPk uint64, x vec.Vec3, skipLocal int) {
 	theta := rt.s.cfg.Theta
 	theta2 := theta * theta
-	stack := []uint64{startPk}
+	ws := rt.getWalk(startPk)
+	stack := ws.buf
 	for len(stack) > 0 {
 		pk := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
@@ -828,9 +851,13 @@ func (rt *evalRT) vortexWalk(res *tree.VortexResult, startPk uint64, x vec.Vec3,
 		}
 		stack = append(stack, children...)
 	}
+	ws.buf = stack
+	rt.walkPool.Put(ws)
 }
 
 // coulombAt is vortexAt for the Coulomb discipline.
+//
+//lint:hotpath per-particle global traversal: runs once per target particle per evaluation
 func (rt *evalRT) coulombAt(x vec.Vec3, skipLocal int) tree.CoulombResult {
 	var res tree.CoulombResult
 	rt.coulombWalk(&res, 1, x, skipLocal)
@@ -863,7 +890,8 @@ func (rt *evalRT) coulombWalk(res *tree.CoulombResult, startPk uint64, x vec.Vec
 	theta := rt.s.cfg.Theta
 	theta2 := theta * theta
 	eps := rt.s.cfg.Eps
-	stack := []uint64{startPk}
+	ws := rt.getWalk(startPk)
+	stack := ws.buf
 	for len(stack) > 0 {
 		pk := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
@@ -903,12 +931,16 @@ func (rt *evalRT) coulombWalk(res *tree.CoulombResult, startPk uint64, x vec.Vec
 		}
 		stack = append(stack, children...)
 	}
+	ws.buf = stack
+	rt.walkPool.Put(ws)
 }
 
 // fetch asks the owner of g for its children (or, for leaves, its
 // particles). In synchronous mode the calling goroutine services
 // incoming requests while waiting; in hybrid mode the request is
 // routed through the communication goroutine.
+//
+//lint:coldpath remote cell miss: each cell is fetched at most once per evaluation, amortized across all targets
 func (rt *evalRT) fetch(g *gcell) {
 	if rt.hybrid {
 		rt.hybridFetch(g)

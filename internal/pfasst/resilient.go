@@ -177,19 +177,60 @@ func runResilient(comm *mpi.Comm, cfg Config, levels []*level, t0, t1 float64, n
 				return cerr
 			}
 		}
-		if v := g.ScrubState(u); v != nil {
-			return v
+		// ScrubState repairs memory corruption in place and fails only
+		// after exhausting the rollback ladder. The verdict folds into
+		// an agreement before the abort for the same reason
+		// cancellation does above: on real hardware corruption is
+		// rank-local, and a lone early return here would strand every
+		// surviving peer in the block agreement below (the PR 8
+		// deadlock class nbodylint's collective rule flags). Under the
+		// deterministic fault model the verdict is identical on every
+		// survivor — the plan hash excludes the rank and u holds the
+		// committed state — so the agreement is always unanimous and
+		// the round costs one posted int64 per survivor.
+		if g != nil {
+			var serr error
+			if v := g.ScrubState(u); v != nil {
+				serr = v
+			}
+			sok := int64(1)
+			if serr != nil {
+				sok = 0
+			}
+			if cur.Agree(sok) == 0 {
+				if serr == nil {
+					serr = fmt.Errorf("pfasst: block %d: block-start state scrub failed on a peer", block)
+				}
+				return serr
+			}
 		}
 		p := cur.Size()
 		if nsteps-stepsDone < p {
 			// Degraded tail: fewer steps remain than survivors. Serial
-			// SDC on the first rank, result broadcast to the rest.
-			if err := runSerialTail(cur, cfg, rz, t0, dt, nsteps, stepsDone, u, res, pb, gen); err != nil {
+			// SDC on the first rank, result broadcast to the rest. The
+			// tail verdict folds into an agreement like the block
+			// verdict below: every survivor commits, shrinks, or
+			// aborts together, so a rank-local receive timeout can
+			// never strand its peers in a later collective. The
+			// snapshot makes a disagreed retry restart from the
+			// committed block-start state even on ranks whose tail
+			// receive already overwrote u.
+			uSave := append([]float64(nil), u...)
+			terr := runSerialTail(cur, cfg, rz, t0, dt, nsteps, stepsDone, u, res, pb, gen)
+			tok := int64(1)
+			if terr != nil {
+				tok = 0
+			}
+			if cur.Agree(tok) == 0 {
+				copy(u, uSave)
 				if shrinkIfDead(&cur, pb) {
 					gen++
 					continue
 				}
-				return err
+				if terr == nil {
+					terr = fmt.Errorf("pfasst: block %d: serial tail failed on a peer", block)
+				}
+				return terr
 			}
 			res.DegradedBlocks++
 			pb.degraded.Inc()
@@ -236,17 +277,33 @@ func runResilient(comm *mpi.Comm, cfg Config, levels []*level, t0, t1 float64, n
 				res.DegradedBlocks++
 				pb.degraded.Inc()
 			}
-			if rz.CheckpointDir != "" && cur.Rank() == 0 {
-				st := &checkpoint.LevelState{
-					Block:     block,
-					StepsDone: stepsDone,
-					TimeRanks: p,
-					T:         t0 + float64(stepsDone)*dt,
-					U:         [][]float64{u},
-					Diag:      g.CheckpointDiag(u),
+			if rz.CheckpointDir != "" {
+				// Rank 0 writes the checkpoint; the verdict is agreed
+				// so a rank-local disk failure aborts every survivor
+				// together instead of stranding the peers in the next
+				// block's collectives (core's grid checkpoint folds
+				// its shard verdict the same way).
+				var werr error
+				if cur.Rank() == 0 {
+					st := &checkpoint.LevelState{
+						Block:     block,
+						StepsDone: stepsDone,
+						TimeRanks: p,
+						T:         t0 + float64(stepsDone)*dt,
+						U:         [][]float64{u},
+						Diag:      g.CheckpointDiag(u),
+					}
+					werr = checkpoint.SaveLevels(rz.checkpointPath(), st)
 				}
-				if err := checkpoint.SaveLevels(rz.checkpointPath(), st); err != nil {
-					return fmt.Errorf("pfasst: block %d checkpoint: %w", block, err)
+				wok := int64(1)
+				if werr != nil {
+					wok = 0
+				}
+				if cur.Agree(wok) == 0 {
+					if werr != nil {
+						return fmt.Errorf("pfasst: block %d checkpoint: %w", block, werr)
+					}
+					return fmt.Errorf("pfasst: block %d checkpoint failed on a peer", block)
 				}
 			}
 			continue

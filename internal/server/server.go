@@ -247,19 +247,30 @@ func (d *Daemon) dispatch() {
 	}
 }
 
-// Submit admits a validated spec: journal first (write-ahead), then
-// queue. Returns the assigned job ID. Rejections are typed —
-// ErrDraining, ErrQuota, ErrQueueFull — and counted.
-func (d *Daemon) Submit(spec *JobSpec) (uint64, error) {
+// admit assigns the next sequence number under the daemon lock,
+// rejecting when the daemon is draining. The critical section sits
+// behind defer so a panic anywhere inside it cannot leak the mutex
+// (locksafe's admission-path rule).
+func (d *Daemon) admit() (uint64, error) {
 	d.mu.Lock()
+	defer d.mu.Unlock()
 	if d.draining {
-		d.mu.Unlock()
-		d.tel.Counter("server.rejected.draining").Inc()
 		return 0, ErrDraining
 	}
 	seq := d.nextSeq
 	d.nextSeq++
-	d.mu.Unlock()
+	return seq, nil
+}
+
+// Submit admits a validated spec: journal first (write-ahead), then
+// queue. Returns the assigned job ID. Rejections are typed —
+// ErrDraining, ErrQuota, ErrQueueFull — and counted.
+func (d *Daemon) Submit(spec *JobSpec) (uint64, error) {
+	seq, err := d.admit()
+	if err != nil {
+		d.tel.Counter("server.rejected.draining").Inc()
+		return 0, err
+	}
 
 	j := newJob(seq, spec)
 	if err := d.journal.Append(Record{Kind: RecSubmit, Job: seq, Data: spec.Canonical()}); err != nil {

@@ -82,18 +82,23 @@ func NewDomain(lo, hi vec.Vec3) Domain {
 // NaN into the float→int conversion, whose result is target-dependent).
 func (d Domain) Key(p vec.Vec3) uint64 {
 	scale := float64(uint64(1)<<KeyBits) / d.Size
-	f := func(x, lo float64) uint32 {
-		v := (x - lo) * scale
-		if !(v >= 0) { // also catches NaN
-			v = 0
-		}
-		max := float64(uint64(1)<<KeyBits) - 1
-		if v > max {
-			v = max
-		}
-		return uint32(v)
+	return MortonKey(keyClamp(p.X, d.Lo.X, scale), keyClamp(p.Y, d.Lo.Y, scale), keyClamp(p.Z, d.Lo.Z, scale))
+}
+
+// keyClamp maps one coordinate to its clamped per-axis cell index
+// (top-level rather than a closure in Key: Key runs once per particle
+// per build, and a capturing closure there is a per-call allocation
+// candidate the allocfree rule rejects).
+func keyClamp(x, lo, scale float64) uint32 {
+	v := (x - lo) * scale
+	if !(v >= 0) { // also catches NaN
+		v = 0
 	}
-	return MortonKey(f(p.X, d.Lo.X), f(p.Y, d.Lo.Y), f(p.Z, d.Lo.Z))
+	max := float64(uint64(1)<<KeyBits) - 1
+	if v > max {
+		v = max
+	}
+	return uint32(v)
 }
 
 // CellCenter returns the center of the cell that contains key at the

@@ -102,6 +102,8 @@ func (s *Solver) Stats() field.Stats {
 
 // Eval implements field.Evaluator: Barnes-Hut velocities and
 // stretching terms for all particles.
+//
+//lint:hotpath steady-state vortex evaluation: 0 allocs/op contract (BENCH_PR6, ci.sh layout lane)
 func (s *Solver) Eval(sys *particle.System, vel, stretch []vec.Vec3) {
 	n := sys.N()
 	if len(vel) != n || len(stretch) != n {
@@ -115,6 +117,7 @@ func (s *Solver) Eval(sys *particle.System, vel, stretch []vec.Vec3) {
 	if s.Traversal == TraversalRecursive {
 		s.LastSched = sched.Stats{}
 		var inter atomic.Int64
+		//lint:ignore allocfree recursive multi-worker dispatch allocates one closure per Eval; the zero-alloc contract is the single-worker list bypass
 		s.parallelRange(n, func(lo, hi int) {
 			var local int64
 			for q := lo; q < hi; q++ {
@@ -146,6 +149,7 @@ func (s *Solver) Eval(sys *particle.System, vel, stretch []vec.Vec3) {
 		return
 	}
 	var inter atomic.Int64
+	//lint:ignore allocfree work-stealing dispatch allocates one closure per Eval; the zero-alloc contract is the single-worker bypass above
 	s.LastSched = sched.Run(s.Workers, len(groups), s.StealGrain, func(_, lo, hi int) {
 		list := GetInteractionList()
 		var local int64
@@ -208,6 +212,8 @@ func (s *Solver) groupCap() int {
 
 // Coulomb evaluates the softened Coulomb potential and field for all
 // particles with the tree.
+//
+//lint:hotpath steady-state Coulomb evaluation: shares the zero-alloc single-worker bypass with Eval
 func (s *Solver) Coulomb(sys *particle.System, eps float64, pot []float64, f []vec.Vec3) {
 	n := sys.N()
 	if len(pot) != n || len(f) != n {
@@ -220,6 +226,7 @@ func (s *Solver) Coulomb(sys *particle.System, eps float64, pot []float64, f []v
 	if s.Traversal == TraversalRecursive {
 		s.LastSched = sched.Stats{}
 		var inter atomic.Int64
+		//lint:ignore allocfree recursive multi-worker dispatch allocates one closure per Coulomb; the zero-alloc contract is the single-worker list bypass
 		s.parallelRange(n, func(lo, hi int) {
 			var local int64
 			for q := lo; q < hi; q++ {
@@ -247,6 +254,7 @@ func (s *Solver) Coulomb(sys *particle.System, eps float64, pot []float64, f []v
 		return
 	}
 	var inter atomic.Int64
+	//lint:ignore allocfree work-stealing dispatch allocates one closure per Coulomb; the zero-alloc contract is the single-worker bypass above
 	s.LastSched = sched.Run(s.Workers, len(groups), s.StealGrain, func(_, lo, hi int) {
 		list := GetInteractionList()
 		var local int64
@@ -296,6 +304,7 @@ func (s *Solver) parallelRange(n int, fn func(lo, hi int)) {
 			hi = n
 		}
 		wg.Add(1)
+		//lint:ignore allocfree one goroutine closure per worker per call; only the w<=1 path is on the zero-alloc contract
 		go func(lo, hi int) {
 			defer wg.Done()
 			fn(lo, hi)

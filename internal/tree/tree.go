@@ -245,17 +245,21 @@ func (t *Tree) accumulateLeaf(idx int) {
 func (t *Tree) accumulateInternal(idx int) {
 	nd := &t.Nodes[idx]
 	defer t.setBMax(nd)
-	children := make([]*Node, 0, 8)
+	// Fixed-size backing instead of make: this runs once per internal
+	// node per build, on the steady-state Eval path.
+	var kids [8]*Node
+	nk := 0
 	for _, ci := range nd.Children {
 		if ci >= 0 {
-			children = append(children, &t.Nodes[ci])
+			kids[nk] = &t.Nodes[ci]
+			nk++
 		}
 	}
 	switch t.discipline {
 	case Vortex:
-		MergeVortex(nd, children)
+		MergeVortex(nd, kids[:nk])
 	case Coulomb:
-		MergeCoulomb(nd, children)
+		MergeCoulomb(nd, kids[:nk])
 	}
 }
 
